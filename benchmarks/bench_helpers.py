@@ -1,0 +1,78 @@
+"""Shared helpers for the benchmark harness (one module per paper table/figure).
+
+Every benchmark regenerates the corresponding table or figure of the paper:
+it evaluates all five design styles (FixyNN, Darkroom, SODA, Ours, Ours+LC)
+on the Table-3 algorithm suite at the paper's two resolutions and prints the
+rows/series.  Absolute values differ from the paper (our SRAM/power models are
+analytic, not silicon-calibrated); the comparisons of interest are the ratios
+between generators, which EXPERIMENTS.md tracks against the paper's claims.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms import ALGORITHM_NAMES, build_algorithm
+from repro.baselines import generate_baseline
+from repro.core.compiler import compile_pipeline
+from repro.core.schedule import PipelineSchedule
+from repro.estimate.report import AcceleratorReport, accelerator_report
+
+#: Resolutions used in the paper's evaluation.
+RES_320P = (480, 320)
+RES_1080P = (1920, 1080)
+
+GENERATORS = ("fixynn", "darkroom", "soda", "ours", "ours+lc")
+
+
+def build_design(generator: str, algorithm: str, width: int, height: int) -> PipelineSchedule:
+    """Build one design point (generator x algorithm x resolution)."""
+    dag = build_algorithm(algorithm)
+    if generator == "ours":
+        return compile_pipeline(dag, image_width=width, image_height=height).schedule
+    if generator == "ours+lc":
+        return compile_pipeline(
+            dag, image_width=width, image_height=height, coalescing=True
+        ).schedule
+    return generate_baseline(generator, dag, width, height)
+
+
+def evaluate_all(width: int, height: int) -> dict[str, dict[str, AcceleratorReport]]:
+    """Evaluate every generator on every algorithm at one resolution."""
+    results: dict[str, dict[str, AcceleratorReport]] = {}
+    for algorithm in ALGORITHM_NAMES:
+        results[algorithm] = {}
+        for generator in GENERATORS:
+            schedule = build_design(generator, algorithm, width, height)
+            results[algorithm][generator] = accelerator_report(schedule)
+    return results
+
+
+def print_metric_table(
+    title: str,
+    results: dict[str, dict[str, AcceleratorReport]],
+    metric: Callable[[AcceleratorReport], float],
+    unit: str,
+) -> dict[str, dict[str, float]]:
+    """Print one figure's bar groups as a table and return the raw values."""
+    table: dict[str, dict[str, float]] = {}
+    print(f"\n{title}")
+    header = f"{'algorithm':<12}" + "".join(f"{g:>12}" for g in GENERATORS)
+    print(header)
+    print("-" * len(header))
+    for algorithm, by_generator in results.items():
+        table[algorithm] = {g: metric(r) for g, r in by_generator.items()}
+        row = f"{algorithm:<12}" + "".join(f"{table[algorithm][g]:>12.1f}" for g in GENERATORS)
+        print(row)
+    averages = {
+        g: sum(table[a][g] for a in table) / len(table) for g in GENERATORS
+    }
+    print(f"{'average':<12}" + "".join(f"{averages[g]:>12.1f}" for g in GENERATORS) + f"   [{unit}]")
+    table["average"] = averages
+    return table
+
+
+def savings(table: dict[str, dict[str, float]], ours: str, baseline: str) -> float:
+    """Average percentage reduction of `ours` relative to `baseline` (paper-style)."""
+    avg = table["average"]
+    return 100.0 * (1.0 - avg[ours] / avg[baseline])

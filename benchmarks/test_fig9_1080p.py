@@ -1,0 +1,63 @@
+"""Fig. 9: SRAM size (a) and memory power (b) comparison on 1080p images.
+
+At 1920x1080 the SRAM block is not large enough to hold two lines, so line
+coalescing does not apply (Ours+LC degenerates to Ours) — exactly the paper's
+setup.  The remaining orderings mirror Fig. 8.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_helpers import RES_1080P, evaluate_all, print_metric_table, savings
+
+
+@pytest.fixture(scope="module")
+def results_1080p():
+    return evaluate_all(*RES_1080P)
+
+
+def test_fig9a_sram_size_1080p(benchmark, results_1080p):
+    table = benchmark.pedantic(
+        lambda: print_metric_table(
+            "Fig 9a: SRAM size at 1080p (KB, block-granular allocation)",
+            results_1080p,
+            lambda report: report.sram_kbytes,
+            "KB",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n  Ours vs FixyNN:   {savings(table, 'ours', 'fixynn'):+.1f}% (paper: +28.1%)\n"
+        f"  Ours vs Darkroom: {savings(table, 'ours', 'darkroom'):+.1f}% (paper: +10.2%)"
+    )
+    average = table["average"]
+    assert average["fixynn"] > average["darkroom"] > average["ours"]
+    # No coalescing opportunity at 1080p: Ours+LC collapses onto Ours.
+    for algorithm, row in table.items():
+        if algorithm == "average":
+            continue
+        assert row["ours+lc"] == pytest.approx(row["ours"])
+
+
+def test_fig9b_memory_power_1080p(benchmark, results_1080p):
+    table = benchmark.pedantic(
+        lambda: print_metric_table(
+            "Fig 9b: memory power at 1080p (mW)",
+            results_1080p,
+            lambda report: report.memory_power_mw,
+            "mW",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n  Ours vs FixyNN:   {savings(table, 'ours', 'fixynn'):+.1f}% (paper: +7.8%)\n"
+        f"  Ours vs Darkroom: {savings(table, 'ours', 'darkroom'):+.1f}% (paper: +13.8%)\n"
+        f"  Ours vs SODA:     {savings(table, 'ours', 'soda'):+.1f}% (paper: +56.0%)"
+    )
+    average = table["average"]
+    assert average["ours"] < average["fixynn"]
+    assert average["ours"] < average["darkroom"]
+    assert average["ours"] < average["soda"]

@@ -1,0 +1,56 @@
+"""Sec. 8.1: throughput (one pixel per cycle) and end-to-end latency overhead.
+
+The paper reports that ImaGen-generated accelerators sustain one pixel per
+cycle for every algorithm and increase end-to-end latency by only ~0.01% over
+Darkroom/SODA.  We verify the steady-state throughput with the cycle-level
+simulator (at a reduced row count so the simulation stays fast) and compare
+analytic end-to-end latencies at 320p.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import ALGORITHM_NAMES, build_algorithm
+from repro.baselines import generate_baseline
+from repro.core.compiler import compile_pipeline
+from repro.sim.cycle import simulate_schedule
+
+SIM_W, SIM_H = 64, 48
+W, H = 480, 320
+
+
+def measure_throughput():
+    rows = {}
+    for algorithm in ALGORITHM_NAMES:
+        dag = build_algorithm(algorithm)
+        schedule = compile_pipeline(dag, image_width=SIM_W, image_height=SIM_H).schedule
+        report = simulate_schedule(schedule)
+        ours_320 = compile_pipeline(dag, image_width=W, image_height=H).schedule
+        darkroom_320 = generate_baseline("darkroom", dag, W, H)
+        soda_320 = generate_baseline("soda", dag, W, H)
+        rows[algorithm] = {
+            "throughput_px_per_cycle": report.steady_state_throughput,
+            "violations": len(report.violations),
+            "latency_vs_darkroom_pct": 100.0
+            * (ours_320.end_to_end_latency_cycles / darkroom_320.end_to_end_latency_cycles - 1.0),
+            "latency_vs_soda_pct": 100.0
+            * (ours_320.end_to_end_latency_cycles / soda_320.end_to_end_latency_cycles - 1.0),
+        }
+    return rows
+
+
+def test_sec81_throughput_and_latency(benchmark):
+    rows = benchmark(measure_throughput)
+
+    print("\nSec 8.1: steady-state throughput and latency overhead (320p)")
+    print(f"{'algorithm':<12}{'px/cycle':>10}{'vs Darkroom':>14}{'vs SODA':>12}")
+    for algorithm, row in rows.items():
+        print(
+            f"{algorithm:<12}{row['throughput_px_per_cycle']:>10.3f}"
+            f"{row['latency_vs_darkroom_pct']:>13.3f}%{row['latency_vs_soda_pct']:>11.3f}%"
+        )
+
+    for row in rows.values():
+        assert row["violations"] == 0
+        assert row["throughput_px_per_cycle"] > 0.95
+        # Never slower than the baselines (the paper reports +0.01% average).
+        assert row["latency_vs_darkroom_pct"] <= 0.1

@@ -1,0 +1,103 @@
+"""Sec. 8.2: compilation speed, constraint-pruning speedup, and scalability.
+
+The paper reports ~14.5 ms average compile time, a ~4x compile-time reduction
+from constraint pruning on multi-consumer algorithms (measured there in terms
+of the number of ILP sub-problems), ~37% faster compilation than Darkroom's
+linearizing compiler, and scalability from 9-stage to 60-stage pipelines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms import ALGORITHM_NAMES, build_algorithm, build_synthetic_pipeline
+from repro.baselines.darkroom import DarkroomGenerator
+from repro.core.pruning import count_subproblems, prune_disjunctions
+from repro.core.constraints import contention_disjunctions
+from repro.core.compiler import compile_pipeline
+from repro.core.scheduler import SchedulerOptions, schedule_pipeline
+from repro.memory.spec import asic_dual_port
+
+W, H = 480, 320
+
+
+def compile_all_algorithms():
+    times = {}
+    for algorithm in ALGORITHM_NAMES:
+        dag = build_algorithm(algorithm)
+        accelerator = compile_pipeline(dag, image_width=W, image_height=H)
+        times[algorithm] = accelerator.compile_seconds * 1000.0
+    return times
+
+
+def test_sec82_compile_time_per_algorithm(benchmark):
+    times = benchmark(compile_all_algorithms)
+    print("\nSec 8.2: compilation time per algorithm (ms)")
+    for algorithm, milliseconds in times.items():
+        print(f"  {algorithm:<12}{milliseconds:>10.1f} ms")
+    average = sum(times.values()) / len(times)
+    print(f"  {'average':<12}{average:>10.1f} ms  (paper: 14.5 ms with OR-Tools)")
+    assert average < 2000.0
+
+
+def test_sec82_pruning_reduces_subproblems(benchmark):
+    def pruning_factor():
+        factors = {}
+        for algorithm in ("canny-m", "harris-m", "unsharp-m", "xcorr-m", "denoise-m"):
+            dag = build_algorithm(algorithm)
+            raw = contention_disjunctions(dag, W, ports=2)
+            pruned = prune_disjunctions(raw, dag)
+            factors[algorithm] = (count_subproblems(raw), count_subproblems(pruned))
+        return factors
+
+    factors = benchmark(pruning_factor)
+    print("\nSec 8.2: ILP sub-problems without / with constraint pruning")
+    total_raw = total_pruned = 1
+    for algorithm, (raw, pruned) in factors.items():
+        print(f"  {algorithm:<12}{raw:>6} -> {pruned}")
+        total_raw *= max(raw, 1)
+        total_pruned *= max(pruned, 1)
+    for raw, pruned in factors.values():
+        assert pruned <= raw
+    assert any(pruned < raw for raw, pruned in factors.values())
+
+
+def test_sec82_faster_than_darkroom_linearizing_compiler(benchmark):
+    def compare():
+        ours_ms = 0.0
+        darkroom_ms = 0.0
+        for algorithm in ALGORITHM_NAMES:
+            dag = build_algorithm(algorithm)
+            start = time.perf_counter()
+            compile_pipeline(dag, image_width=W, image_height=H)
+            ours_ms += (time.perf_counter() - start) * 1000
+            start = time.perf_counter()
+            DarkroomGenerator().generate(dag, W, H)
+            darkroom_ms += (time.perf_counter() - start) * 1000
+        return ours_ms, darkroom_ms
+
+    ours_ms, darkroom_ms = benchmark(compare)
+    print(
+        f"\nSec 8.2: total compile time ours {ours_ms:.1f} ms vs Darkroom-style "
+        f"{darkroom_ms:.1f} ms (paper: ours 37.4% faster; our Darkroom baseline "
+        "skips the ILP entirely, so this comparison is indicative only)"
+    )
+    assert ours_ms > 0 and darkroom_ms > 0
+
+
+def test_sec82_scalability_sweep(benchmark):
+    def sweep():
+        timings = {}
+        for stages in (9, 18, 30, 45, 60):
+            dag = build_synthetic_pipeline(stages)
+            start = time.perf_counter()
+            schedule = schedule_pipeline(dag, W, H, asic_dual_port(), SchedulerOptions())
+            timings[stages] = (time.perf_counter() - start) * 1000.0
+            assert len(schedule.start_cycles) == stages
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nSec 8.2: scalability (synthetic pipelines, 1/3 multi-consumer stages)")
+    for stages, milliseconds in timings.items():
+        print(f"  {stages:>3} stages: {milliseconds:>9.1f} ms")
+    assert timings[60] < 60_000.0

@@ -1,0 +1,51 @@
+"""Sec. 8.3/8.4 "Accelerator results": whole-accelerator area and power roll-up.
+
+The paper notes that memory dominates the accelerator (79.8% / 92.7% of area
+at 320p / 1080p on average), so memory savings translate into accelerator
+savings.  This benchmark reports total area and power (memory + PEs) and the
+memory fraction at both resolutions.
+"""
+
+from __future__ import annotations
+
+from bench_helpers import RES_1080P, RES_320P, GENERATORS, evaluate_all
+
+
+def collect_totals():
+    totals = {}
+    for label, (width, height) in (("320p", RES_320P), ("1080p", RES_1080P)):
+        results = evaluate_all(width, height)
+        totals[label] = results
+    return totals
+
+
+def test_sec83_accelerator_level_totals(benchmark):
+    totals = benchmark.pedantic(collect_totals, rounds=1, iterations=1)
+
+    for resolution, results in totals.items():
+        print(f"\nSec 8.3/8.4: accelerator-level totals at {resolution}")
+        print(f"{'algorithm':<12}{'generator':>10}{'area mm2':>12}{'power mW':>12}{'mem frac':>10}")
+        memory_fractions = []
+        for algorithm, by_generator in results.items():
+            for generator in GENERATORS:
+                report = by_generator[generator]
+                fraction = report.area.memory_fraction
+                if generator == "ours":
+                    memory_fractions.append(fraction)
+                print(
+                    f"{algorithm:<12}{generator:>10}{report.total_area_mm2:>12.3f}"
+                    f"{report.total_power_mw:>12.2f}{fraction:>10.2f}"
+                )
+        average_fraction = sum(memory_fractions) / len(memory_fractions)
+        print(f"  average memory area fraction (Ours): {average_fraction:.2f}")
+        # Memory dominates the accelerator area (paper: 0.80-0.93).
+        assert average_fraction > 0.6
+
+    # Area/power savings at the accelerator level follow the memory savings.
+    for resolution, results in totals.items():
+        total_area = {g: sum(results[a][g].total_area_mm2 for a in results) for g in GENERATORS}
+        total_power = {g: sum(results[a][g].total_power_mw for a in results) for g in GENERATORS}
+        assert total_area["ours"] < total_area["fixynn"]
+        assert total_area["ours"] < total_area["darkroom"]
+        assert total_power["ours"] < total_power["darkroom"]
+        assert total_power["ours"] < total_power["soda"]

@@ -1,0 +1,69 @@
+"""Sec. 8.3 FPGA results: BRAM usage on the Spartan-7 board, and the
+"multiple algorithms" experiment (hosting the whole suite within 120 BRAMs).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import ALGORITHM_NAMES, build_algorithm
+from repro.baselines import generate_baseline
+from repro.core.compiler import compile_pipeline
+from repro.estimate.fpga import fpga_report, multi_algorithm_fit
+from repro.memory.spec import spartan7_bram, spartan7_fpga
+
+W, H = 480, 320
+GENERATORS = ("fixynn", "darkroom", "soda", "ours", "ours+lc")
+
+
+def build_fpga_reports():
+    bram = spartan7_bram()
+    reports = {}
+    for algorithm in ALGORITHM_NAMES:
+        dag = build_algorithm(algorithm)
+        reports[algorithm] = {}
+        for generator in GENERATORS:
+            if generator == "ours":
+                schedule = compile_pipeline(
+                    dag, image_width=W, image_height=H, memory_spec=bram
+                ).schedule
+            elif generator == "ours+lc":
+                schedule = compile_pipeline(
+                    dag, image_width=W, image_height=H, memory_spec=bram, coalescing=True
+                ).schedule
+            elif generator == "fixynn":
+                schedule = generate_baseline(generator, dag, W, H, spartan7_bram(ports=1))
+            else:
+                schedule = generate_baseline(generator, dag, W, H, bram)
+            reports[algorithm][generator] = fpga_report(schedule)
+    return reports
+
+
+def test_sec83_fpga_bram_usage_and_power(benchmark):
+    reports = benchmark.pedantic(build_fpga_reports, rounds=1, iterations=1)
+
+    print("\nSec 8.3 (FPGA): BRAM blocks used per design at 320p")
+    print(f"{'algorithm':<12}" + "".join(f"{g:>10}" for g in GENERATORS))
+    for algorithm, by_generator in reports.items():
+        print(
+            f"{algorithm:<12}"
+            + "".join(f"{by_generator[g].brams_used:>10}" for g in GENERATORS)
+        )
+
+    total = {g: sum(reports[a][g].brams_used for a in reports) for g in GENERATORS}
+    power = {g: sum(reports[a][g].total_mw for a in reports) for g in GENERATORS}
+    print(f"{'total':<12}" + "".join(f"{total[g]:>10}" for g in GENERATORS))
+    print(f"{'power(mW)':<12}" + "".join(f"{power[g]:>10.1f}" for g in GENERATORS))
+
+    # BRAM ordering mirrors the ASIC SRAM ordering.
+    assert total["ours"] <= total["darkroom"] <= total["fixynn"]
+    assert total["ours+lc"] <= total["ours"]
+
+    # "Multiple algorithms": can the whole suite be resident at once?
+    fpga = spartan7_fpga()
+    fits = {}
+    for generator in GENERATORS:
+        blocks, ok = multi_algorithm_fit([reports[a][generator] for a in reports], fpga)
+        fits[generator] = (blocks, ok)
+        print(f"  all algorithms with {generator:<9}: {blocks:>4} BRAMs "
+              f"({'fits' if ok else 'does not fit'} in {fpga.total_blocks})")
+    assert fits["ours+lc"][0] <= fits["darkroom"][0]
+    assert fits["ours+lc"][0] <= fits["fixynn"][0]

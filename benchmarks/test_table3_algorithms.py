@@ -1,0 +1,27 @@
+"""Table 3: the evaluation algorithm suite (stage counts and multi-consumer stages)."""
+
+from __future__ import annotations
+
+from repro.algorithms import table3
+
+EXPECTED = {
+    "canny-s": (9, 0),
+    "canny-m": (10, 1),
+    "harris-s": (7, 0),
+    "harris-m": (7, 1),
+    "unsharp-m": (5, 1),
+    "xcorr-m": (3, 1),
+    "denoise-m": (5, 2),
+}
+
+
+def test_table3_algorithm_suite(benchmark):
+    rows = benchmark(table3)
+
+    print("\nTable 3: evaluation algorithms")
+    print(f"{'algorithm':<12}{'#stages':>9}{'#MC stages':>12}")
+    for row in rows:
+        print(f"{row['algorithm']:<12}{row['stages']:>9}{row['multi_consumer_stages']:>12}")
+
+    measured = {row["algorithm"]: (row["stages"], row["multi_consumer_stages"]) for row in rows}
+    assert measured == EXPECTED

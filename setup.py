@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (e.g.
+offline machines where ``pip install -e .`` cannot build an editable wheel and
+``python setup.py develop`` is the fallback).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""ImaGen reproduction: generating memory- and power-efficient image processing accelerators.
+
+Public API
+----------
+* :func:`repro.dsl.parse_pipeline` / :class:`repro.dsl.PipelineBuilder` — describe pipelines.
+* :func:`repro.core.compile_pipeline` — compile a pipeline into an optimized accelerator.
+* :func:`repro.baselines.generate_baseline` — Darkroom / SODA / FixyNN comparison designs.
+* :mod:`repro.sim` — cycle-level legality checks and functional simulation.
+* :mod:`repro.estimate` — ASIC area/power and FPGA BRAM models.
+* :mod:`repro.rtl` — Verilog generation.
+* :mod:`repro.algorithms` — the Table-3 algorithm suite.
+* :mod:`repro.dse` — design-space exploration (Fig. 10).
+"""
+
+from repro.core.compiler import CompiledAccelerator, compile_pipeline
+from repro.core.scheduler import SchedulerOptions, schedule_pipeline
+from repro.core.schedule import PipelineSchedule
+from repro.dsl.builder import PipelineBuilder
+from repro.dsl.parser import parse_pipeline
+from repro.ir.dag import PipelineDAG, Stage, Edge
+from repro.ir.stencil import StencilWindow
+from repro.memory.spec import (
+    MemorySpec,
+    FpgaSpec,
+    asic_dual_port,
+    asic_single_port,
+    asic_fifo,
+    spartan7_fpga,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledAccelerator",
+    "compile_pipeline",
+    "SchedulerOptions",
+    "schedule_pipeline",
+    "PipelineSchedule",
+    "PipelineBuilder",
+    "parse_pipeline",
+    "PipelineDAG",
+    "Stage",
+    "Edge",
+    "StencilWindow",
+    "MemorySpec",
+    "FpgaSpec",
+    "asic_dual_port",
+    "asic_single_port",
+    "asic_fifo",
+    "spartan7_fpga",
+    "__version__",
+]

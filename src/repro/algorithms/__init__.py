@@ -1,0 +1,29 @@
+"""The evaluation algorithm suite (paper Table 3)."""
+
+from repro.algorithms.catalog import (
+    ALGORITHM_NAMES,
+    AlgorithmInfo,
+    build_algorithm,
+    table3,
+)
+from repro.algorithms.canny import build_canny_s, build_canny_m
+from repro.algorithms.harris import build_harris_s, build_harris_m
+from repro.algorithms.unsharp import build_unsharp_m
+from repro.algorithms.xcorr import build_xcorr_m
+from repro.algorithms.denoise import build_denoise_m
+from repro.algorithms.synthetic import build_synthetic_pipeline
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "AlgorithmInfo",
+    "build_algorithm",
+    "table3",
+    "build_canny_s",
+    "build_canny_m",
+    "build_harris_s",
+    "build_harris_m",
+    "build_unsharp_m",
+    "build_xcorr_m",
+    "build_denoise_m",
+    "build_synthetic_pipeline",
+]

@@ -1,0 +1,128 @@
+"""Canny edge detection pipelines (Table 3: Canny-s, 9 stages; Canny-m, 10 stages, 1 MC).
+
+``Canny-s`` is written as a pure chain (every producer has exactly one
+consumer): separable Gaussian smoothing, a fused gradient-magnitude stencil,
+separable non-maximum suppression, double thresholding, and hysteresis.
+
+``Canny-m`` computes the horizontal and vertical Sobel derivatives as two
+separate stages that both read the smoothed image — the multi-consumer stage —
+and combines them downstream, which is the structure that challenges
+single-consumer generators (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.kernels import GAUSS5, SOBEL_X, SOBEL_Y, normalized
+from repro.dsl import ast
+from repro.dsl.builder import PipelineBuilder, StageHandle, convolve
+from repro.ir.dag import PipelineDAG
+
+
+def _separable(stage: StageHandle, taps: list[float], horizontal: bool) -> ast.Expr:
+    weights = normalized(taps)
+    half = len(weights) // 2
+    terms: list[ast.Expr] = []
+    for index, weight in enumerate(weights):
+        offset = index - half
+        ref = stage(offset, 0) if horizontal else stage(0, offset)
+        terms.append(ref * weight)
+    expr: ast.Expr = terms[0]
+    for term in terms[1:]:
+        expr = expr + term
+    return expr
+
+
+def build_canny_s() -> PipelineDAG:
+    """Canny edge detection as a 9-stage single-consumer chain."""
+    builder = PipelineBuilder("canny-s")
+    source = builder.input("K0")
+    blur_v = builder.stage("gauss_v", _separable(source, GAUSS5, horizontal=False))
+    blur_h = builder.stage("gauss_h", _separable(blur_v, GAUSS5, horizontal=True))
+    # Fused |d/dx| + |d/dy| magnitude over one 3x3 window of the blurred image.
+    grad = builder.stage(
+        "grad_mag",
+        ast.Call("abs", (convolve(blur_h, SOBEL_X),))
+        + ast.Call("abs", (convolve(blur_h, SOBEL_Y),)),
+    )
+    nms_v = builder.stage(
+        "nms_v",
+        ast.Call(
+            "select",
+            (grad(0, 0) >= ast.Call("max", (grad(0, -1), grad(0, 1))), grad(0, 0), ast.Const(0.0)),
+        ),
+    )
+    nms_h = builder.stage(
+        "nms_h",
+        ast.Call(
+            "select",
+            (
+                nms_v(0, 0) >= ast.Call("max", (nms_v(-1, 0), nms_v(1, 0))),
+                nms_v(0, 0),
+                ast.Const(0.0),
+            ),
+        ),
+    )
+    low = builder.stage("low_threshold", (nms_h(0, 0) > 40.0) * nms_h(0, 0))
+    high = builder.stage("high_threshold", (low(0, 0) > 90.0) * 2.0 + (low(0, 0) > 0.0) * 1.0)
+    builder.output(
+        "hysteresis",
+        ast.Call(
+            "select",
+            (
+                (high(0, 0) >= 2.0)
+                + (
+                    (high(0, 0) >= 1.0)
+                    * (ast.Call("max", (high(-1, -1), high(1, 1), high(-1, 1), high(1, -1), high(0, -1), high(0, 1), high(-1, 0), high(1, 0))) >= 2.0)
+                ),
+                ast.Const(255.0),
+                ast.Const(0.0),
+            ),
+        ),
+    )
+    return builder.build()
+
+
+def build_canny_m() -> PipelineDAG:
+    """Canny edge detection with explicit Sobel-x / Sobel-y stages (1 multi-consumer stage)."""
+    builder = PipelineBuilder("canny-m")
+    source = builder.input("K0")
+    blur_v = builder.stage("gauss_v", _separable(source, GAUSS5, horizontal=False))
+    blur_h = builder.stage("gauss_h", _separable(blur_v, GAUSS5, horizontal=True))
+    grad_x = builder.stage("grad_x", convolve(blur_h, SOBEL_X))
+    grad_y = builder.stage("grad_y", convolve(blur_h, SOBEL_Y))
+    magnitude = builder.stage(
+        "magnitude", ast.Call("abs", (grad_x(0, 0),)) + ast.Call("abs", (grad_y(0, 0),))
+    )
+    nms = builder.stage(
+        "nms",
+        ast.Call(
+            "select",
+            (
+                magnitude(0, 0)
+                >= ast.Call(
+                    "max",
+                    (magnitude(-1, 0), magnitude(1, 0), magnitude(0, -1), magnitude(0, 1)),
+                ),
+                magnitude(0, 0),
+                ast.Const(0.0),
+            ),
+        ),
+    )
+    low = builder.stage("low_threshold", (nms(0, 0) > 40.0) * nms(0, 0))
+    high = builder.stage("high_threshold", (low(0, 0) > 90.0) * 2.0 + (low(0, 0) > 0.0) * 1.0)
+    builder.output(
+        "hysteresis",
+        ast.Call(
+            "select",
+            (
+                (high(0, 0) >= 2.0)
+                + (
+                    (high(0, 0) >= 1.0)
+                    * (ast.Call("max", (high(-1, -1), high(1, 1), high(-1, 1), high(1, -1), high(0, -1), high(0, 1), high(-1, 0), high(1, 0))) >= 2.0)
+                ),
+                ast.Const(255.0),
+                ast.Const(0.0),
+            ),
+        ),
+    )
+    return builder.build()

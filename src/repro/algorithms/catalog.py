@@ -1,0 +1,74 @@
+"""Catalog of the evaluation algorithms (paper Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algorithms.canny import build_canny_m, build_canny_s
+from repro.algorithms.denoise import build_denoise_m
+from repro.algorithms.harris import build_harris_m, build_harris_s
+from repro.algorithms.unsharp import build_unsharp_m
+from repro.algorithms.xcorr import build_xcorr_m
+from repro.errors import ReproError
+from repro.ir.dag import PipelineDAG
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One row of Table 3."""
+
+    name: str
+    description: str
+    builder: Callable[[], PipelineDAG]
+    expected_stages: int
+    expected_multi_consumer_stages: int
+
+    def build(self) -> PipelineDAG:
+        return self.builder()
+
+
+_CATALOG: dict[str, AlgorithmInfo] = {
+    info.name: info
+    for info in (
+        AlgorithmInfo("canny-s", "Canny edge detection (single-consumer)", build_canny_s, 9, 0),
+        AlgorithmInfo("canny-m", "Canny edge detection (multi-consumer)", build_canny_m, 10, 1),
+        AlgorithmInfo("harris-s", "Harris corner detection (single-consumer)", build_harris_s, 7, 0),
+        AlgorithmInfo("harris-m", "Harris corner detection (multi-consumer)", build_harris_m, 7, 1),
+        AlgorithmInfo("unsharp-m", "Unsharp masking", build_unsharp_m, 5, 1),
+        AlgorithmInfo("xcorr-m", "Cross correlation", build_xcorr_m, 3, 1),
+        AlgorithmInfo("denoise-m", "Image denoise", build_denoise_m, 5, 2),
+    )
+}
+
+ALGORITHM_NAMES: tuple[str, ...] = tuple(_CATALOG)
+
+
+def algorithm_info(name: str) -> AlgorithmInfo:
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise ReproError(
+            f"Unknown algorithm {name!r}; available: {', '.join(ALGORITHM_NAMES)}"
+        ) from None
+
+
+def build_algorithm(name: str) -> PipelineDAG:
+    """Build one of the Table-3 pipelines by name."""
+    return algorithm_info(name).build()
+
+
+def table3() -> list[dict[str, object]]:
+    """Reproduce Table 3: name, description, #stages, #multi-consumer stages."""
+    rows = []
+    for info in _CATALOG.values():
+        dag = info.build()
+        rows.append(
+            {
+                "algorithm": info.name,
+                "description": info.description,
+                "stages": len(dag),
+                "multi_consumer_stages": len(dag.multi_consumer_stages()),
+            }
+        )
+    return rows

@@ -1,0 +1,28 @@
+"""Edge-preserving denoise (Table 3: Denoise-m, 5 stages, 2 multi-consumer stages).
+
+The structure follows the denoise2D example cited by the paper (SODA): the
+input is read both by a smoothing stage and by a difference stage, and the
+smoothed image is read both by the difference stage and by the final blend —
+two multi-consumer stages.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.kernels import gauss3_2d
+from repro.dsl import ast
+from repro.dsl.builder import PipelineBuilder, convolve, window_sum
+from repro.ir.dag import PipelineDAG
+
+
+def build_denoise_m() -> PipelineDAG:
+    """Blend the blurred image with the original where local detail is low."""
+    builder = PipelineBuilder("denoise-m")
+    source = builder.input("K0")
+    blur = builder.stage("blur", convolve(source, gauss3_2d()))
+    detail = builder.stage("detail", ast.Call("abs", (source(0, 0) - blur(0, 0),)))
+    activity = builder.stage("activity", window_sum(detail, 3, 3))
+    builder.output(
+        "blend",
+        ast.Call("select", (activity(0, 0) > 60.0, source(0, 0), blur(0, 0))),
+    )
+    return builder.build()

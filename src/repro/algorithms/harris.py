@@ -1,0 +1,70 @@
+"""Harris corner detection pipelines (Table 3: Harris-s and Harris-m, 7 stages each).
+
+``Harris-s`` is a single-consumer chain; ``Harris-m`` computes the two image
+derivatives as sibling stages reading the same smoothed image (one
+multi-consumer stage).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.kernels import SOBEL_X, SOBEL_Y, gauss3_2d
+from repro.dsl import ast
+from repro.dsl.builder import PipelineBuilder, convolve, window_sum
+from repro.ir.dag import PipelineDAG
+
+_HARRIS_K = 0.05
+
+
+def build_harris_s() -> PipelineDAG:
+    """Harris corner response as a 7-stage single-consumer chain."""
+    builder = PipelineBuilder("harris-s")
+    source = builder.input("K0")
+    blur = builder.stage("gauss", convolve(source, gauss3_2d()))
+    deriv = builder.stage("deriv", convolve(blur, SOBEL_X))
+    squared = builder.stage("square", deriv(0, 0) * deriv(0, 0))
+    summed = builder.stage("window_sum", window_sum(squared, 3, 3))
+    response = builder.stage(
+        "response",
+        summed(0, 0) * summed(0, 0) - window_sum(summed, 3, 3) * _HARRIS_K,
+    )
+    builder.output(
+        "corners",
+        ast.Call(
+            "select",
+            (
+                (response(0, 0) >= ast.Call("max", (response(-1, -1), response(1, 1), response(-1, 1), response(1, -1))))
+                * (response(0, 0) > 1000.0),
+                ast.Const(255.0),
+                ast.Const(0.0),
+            ),
+        ),
+    )
+    return builder.build()
+
+
+def build_harris_m() -> PipelineDAG:
+    """Harris corner response with explicit Ix/Iy stages (1 multi-consumer stage)."""
+    builder = PipelineBuilder("harris-m")
+    source = builder.input("K0")
+    blur = builder.stage("gauss", convolve(source, gauss3_2d()))
+    grad_x = builder.stage("grad_x", convolve(blur, SOBEL_X))
+    grad_y = builder.stage("grad_y", convolve(blur, SOBEL_Y))
+    products = builder.stage(
+        "products",
+        grad_x(0, 0) * grad_x(0, 0) + grad_y(0, 0) * grad_y(0, 0)
+        - 2.0 * grad_x(0, 0) * grad_y(0, 0) * _HARRIS_K,
+    )
+    structure = builder.stage("structure", window_sum(products, 5, 5))
+    builder.output(
+        "corners",
+        ast.Call(
+            "select",
+            (
+                (structure(0, 0) >= ast.Call("max", (structure(-1, 0), structure(1, 0), structure(0, -1), structure(0, 1))))
+                * (structure(0, 0) > 1000.0),
+                ast.Const(255.0),
+                ast.Const(0.0),
+            ),
+        ),
+    )
+    return builder.build()

@@ -1,0 +1,44 @@
+"""Shared convolution kernels used by the algorithm suite."""
+
+from __future__ import annotations
+
+#: 5-tap binomial (Gaussian approximation), used separably.
+GAUSS5 = [1.0, 4.0, 6.0, 4.0, 1.0]
+
+#: 3-tap binomial.
+GAUSS3 = [1.0, 2.0, 1.0]
+
+#: Sobel horizontal-derivative kernel (3x3).
+SOBEL_X = [
+    [-1.0, 0.0, 1.0],
+    [-2.0, 0.0, 2.0],
+    [-1.0, 0.0, 1.0],
+]
+
+#: Sobel vertical-derivative kernel (3x3).
+SOBEL_Y = [
+    [-1.0, -2.0, -1.0],
+    [0.0, 0.0, 0.0],
+    [1.0, 2.0, 1.0],
+]
+
+
+def normalized(kernel: list[float]) -> list[float]:
+    total = sum(kernel)
+    return [value / total for value in kernel]
+
+
+def gauss5_2d() -> list[list[float]]:
+    """Outer product of the 5-tap binomial with itself, normalised."""
+    total = sum(GAUSS5) ** 2
+    return [[a * b / total for b in GAUSS5] for a in GAUSS5]
+
+
+def gauss3_2d() -> list[list[float]]:
+    total = sum(GAUSS3) ** 2
+    return [[a * b / total for b in GAUSS3] for a in GAUSS3]
+
+
+def box(width: int, height: int) -> list[list[float]]:
+    """Unnormalised box kernel."""
+    return [[1.0] * width for _ in range(height)]

@@ -1,0 +1,66 @@
+"""Synthetic pipelines for the scalability study (paper Sec. 8.2).
+
+The paper sweeps pipelines of 9 to 60 stages in which roughly one third of the
+stages have multiple consumers.  :func:`build_synthetic_pipeline` generates
+such pipelines deterministically: the backbone is a chain of 3x3 stages, and
+at regular intervals a backbone stage grows a side branch that re-joins two
+stages later, giving that backbone stage two consumers.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.builder import PipelineBuilder, StageHandle, window_sum
+from repro.errors import DSLSemanticError
+from repro.ir.dag import PipelineDAG
+
+
+def build_synthetic_pipeline(
+    num_stages: int,
+    *,
+    multi_consumer_interval: int = 3,
+    stencil: int = 3,
+    name: str | None = None,
+) -> PipelineDAG:
+    """Build a synthetic pipeline with exactly ``num_stages`` stages.
+
+    Every ``multi_consumer_interval``-th backbone position spawns a branch
+    stage; the branch and the continuing backbone both read the same producer
+    (making it a multi-consumer stage) and merge two stages later.  Use
+    ``multi_consumer_interval=0`` for a pure single-consumer chain.
+    """
+    if num_stages < 3:
+        raise DSLSemanticError("A synthetic pipeline needs at least 3 stages")
+
+    builder = PipelineBuilder(name or f"synthetic-{num_stages}")
+    backbone: StageHandle = builder.input("K0")
+    pending: StageHandle | None = None
+    pending_steps = 0
+
+    index = 1
+    while index < num_stages:
+        remaining = num_stages - index
+        spawn_branch = (
+            multi_consumer_interval > 0
+            and pending is None
+            and index % multi_consumer_interval == 0
+            and remaining >= 3
+        )
+        if spawn_branch:
+            pending = builder.stage(f"B{index}", window_sum(backbone, stencil, stencil))
+            pending_steps = 0
+            index += 1
+            continue
+        if pending is not None and pending_steps >= 1:
+            backbone = builder.stage(
+                f"K{index}", window_sum(backbone, stencil, stencil) + pending(0, 0)
+            )
+            pending = None
+        else:
+            backbone = builder.stage(f"K{index}", window_sum(backbone, stencil, stencil))
+            if pending is not None:
+                pending_steps += 1
+        index += 1
+
+    dag = builder.dag
+    dag.stage(backbone.name).is_output = True
+    return dag.validated()

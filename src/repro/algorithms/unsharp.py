@@ -1,0 +1,41 @@
+"""Unsharp masking (Table 3: Unsharp-m, 5 stages, 1 multi-consumer stage).
+
+The input image is both blurred (separable 5-tap Gaussian) and re-read by the
+sharpening stage, making the input stage the multi-consumer stage — the
+classic example used by Darkroom and the paper's Sec. 3.1.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.kernels import GAUSS5, normalized
+from repro.dsl import ast
+from repro.dsl.builder import PipelineBuilder
+from repro.ir.dag import PipelineDAG
+
+_SHARPEN_GAIN = 1.5
+
+
+def build_unsharp_m() -> PipelineDAG:
+    """Unsharp masking: out = clamp(K0 + gain * (K0 - blur(K0)))."""
+    builder = PipelineBuilder("unsharp-m")
+    source = builder.input("K0")
+
+    weights = normalized(GAUSS5)
+    half = len(weights) // 2
+    blur_v_terms = [source(0, i - half) * w for i, w in enumerate(weights)]
+    blur_v_expr: ast.Expr = blur_v_terms[0]
+    for term in blur_v_terms[1:]:
+        blur_v_expr = blur_v_expr + term
+    blur_v = builder.stage("blur_v", blur_v_expr)
+
+    blur_h_terms = [blur_v(i - half, 0) * w for i, w in enumerate(weights)]
+    blur_h_expr: ast.Expr = blur_h_terms[0]
+    for term in blur_h_terms[1:]:
+        blur_h_expr = blur_h_expr + term
+    blur_h = builder.stage("blur_h", blur_h_expr)
+
+    sharpen = builder.stage(
+        "sharpen", source(0, 0) + (source(0, 0) - blur_h(0, 0)) * _SHARPEN_GAIN
+    )
+    builder.output("clamp", ast.Call("clamp", (sharpen(0, 0), ast.Const(0.0), ast.Const(255.0))))
+    return builder.build()

@@ -1,0 +1,37 @@
+"""Normalised cross-correlation against a tall 1-D template
+(Table 3: Xcorr-m, 3 stages, 1 multi-consumer stage).
+
+The input is read both by a tall 18x1 local-statistics stage and by the
+correlation stage itself; linearizing this pipeline replicates the 18-line
+reader, which is why Darkroom's memory blow-up is largest here (Sec. 8.3).
+"""
+
+from __future__ import annotations
+
+from repro.dsl import ast
+from repro.dsl.builder import PipelineBuilder, window_sum
+from repro.ir.dag import PipelineDAG
+
+#: Height of the matching template (one column of 18 pixels).
+TEMPLATE_HEIGHT = 18
+
+#: A fixed 18-tap template (a smoothed step edge).
+TEMPLATE = [1.0, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 16.0, 20.0, 20.0, 16.0, 12.0, 8.0, 5.0, 3.0, 2.0, 1.0, 1.0]
+
+
+def build_xcorr_m() -> PipelineDAG:
+    """Cross-correlation: correlate each column window with a fixed 18-tap template."""
+    builder = PipelineBuilder("xcorr-m")
+    source = builder.input("K0")
+
+    local_sum = builder.stage(
+        "local_sum", window_sum(source, 1, TEMPLATE_HEIGHT, centered=False)
+    )
+
+    correlation_terms = [source(0, dy) * TEMPLATE[dy] for dy in range(TEMPLATE_HEIGHT)]
+    correlation: ast.Expr = correlation_terms[0]
+    for term in correlation_terms[1:]:
+        correlation = correlation + term
+    mean = local_sum(0, 0) / float(TEMPLATE_HEIGHT)
+    builder.output("xcorr", correlation - mean * float(sum(TEMPLATE)))
+    return builder.build()

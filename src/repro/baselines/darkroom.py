@@ -1,0 +1,146 @@
+"""Darkroom-style baseline: algorithm linearization + dual-port line buffers.
+
+Darkroom [Hegarty et al. 2014] targets single-consumer pipelines.  When a
+producer has several consumers, the pipeline is *linearized* (paper Sec. 3.1,
+Fig. 3): one consumer keeps reading the producer directly, and every other
+consumer is fed through a dummy relay stage that reads the producer with
+exactly the same pattern as the retained consumer (so the two reads coalesce
+into one) and simply forwards the data.  Each dummy stage carries its own
+line buffer, which is where Darkroom's extra memory comes from.
+
+After linearization each line buffer serves one write plus one (effective)
+read per cycle, so a data-dependency-only ASAP schedule is legal on dual-port
+SRAM and no ILP is needed.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineGenerator
+from repro.core import access
+from repro.core.schedule import PipelineSchedule
+from repro.dsl.ast import StageRef
+from repro.errors import BaselineError
+from repro.ir.dag import PipelineDAG, Stage
+from repro.ir.stencil import StencilWindow
+from repro.ir.traversal import topological_order
+from repro.memory.allocator import (
+    allocate_line_buffer,
+    allocate_register_buffer,
+    dff_realization_threshold,
+)
+from repro.memory.spec import MemorySpec, asic_dual_port
+
+
+def linearize_dag(dag: PipelineDAG) -> PipelineDAG:
+    """Rewrite a multi-consumer DAG into an (effectively) single-consumer one.
+
+    For every producer with more than one consumer, the consumer appearing
+    first in topological order keeps its direct edge; each remaining consumer
+    ``c`` is rerouted through a fresh dummy stage that (a) reads the producer
+    with the retained consumer's stencil window and (b) is read by ``c`` with
+    ``c``'s original window.  Dummy stages forward the producer's pixel
+    unchanged (their expression is an identity reference), so functional
+    semantics are preserved.
+    """
+    linearized = PipelineDAG(f"{dag.name}-linearized")
+    for stage in dag.stages():
+        linearized.add_stage(
+            Stage(
+                name=stage.name,
+                is_input=stage.is_input,
+                is_output=stage.is_output,
+                expression=stage.expression,
+                metadata=dict(stage.metadata),
+            )
+        )
+
+    topo_position = {name: i for i, name in enumerate(topological_order(dag))}
+    dummy_counter = 0
+    for producer in dag.stage_names():
+        edges = sorted(dag.out_edges(producer), key=lambda e: topo_position[e.consumer])
+        if len(edges) <= 1:
+            for edge in edges:
+                linearized.add_edge(edge.producer, edge.consumer, edge.window)
+            continue
+        retained = edges[0]
+        linearized.add_edge(retained.producer, retained.consumer, retained.window)
+        for edge in edges[1:]:
+            dummy_counter += 1
+            dummy_name = f"{producer}_relay{dummy_counter}"
+            linearized.add_stage(
+                Stage(
+                    name=dummy_name,
+                    expression=StageRef(producer, 0, 0),
+                    metadata={"dummy": True, "relay_of": producer},
+                )
+            )
+            # The dummy mirrors the retained consumer's read pattern...
+            linearized.add_edge(producer, dummy_name, retained.window)
+            # ...and the displaced consumer now reads the relay instead.
+            linearized.add_edge(dummy_name, edge.consumer, edge.window)
+    return linearized.validated()
+
+
+class DarkroomGenerator(BaselineGenerator):
+    """Generate a Darkroom-style accelerator design."""
+
+    name = "darkroom"
+
+    def generate(
+        self,
+        dag: PipelineDAG,
+        image_width: int,
+        image_height: int,
+        memory_spec: MemorySpec | None = None,
+    ) -> PipelineSchedule:
+        memory_spec = memory_spec or asic_dual_port()
+        if memory_spec.ports < 2:
+            raise BaselineError(
+                "Darkroom assumes dual-port SRAM line buffers; "
+                f"the supplied spec has {memory_spec.ports} port(s)"
+            )
+        linearized = linearize_dag(dag)
+        starts = self.asap_schedule(linearized, image_width)
+
+        line_buffers = {}
+        for producer in linearized.stage_names():
+            consumers = linearized.consumers_of(producer)
+            if not consumers:
+                continue
+            max_delay = max(starts[c] - starts[producer] for c in consumers)
+            reader_heights = {
+                e.consumer: e.window.height for e in linearized.out_edges(producer)
+            }
+            if max_delay <= dff_realization_threshold(image_width):
+                line_buffers[producer] = allocate_register_buffer(
+                    producer,
+                    image_width,
+                    max_delay,
+                    memory_spec,
+                    reader_heights=reader_heights,
+                )
+                continue
+            lines = access.required_line_slots(max_delay, image_width)
+            line_buffers[producer] = allocate_line_buffer(
+                producer,
+                image_width,
+                lines,
+                memory_spec,
+                coalesce_factor=1,
+                reader_heights=reader_heights,
+            )
+
+        dummy_stages = [
+            s.name for s in linearized.stages() if s.metadata.get("dummy", False)
+        ]
+        return PipelineSchedule(
+            dag=linearized,
+            image_width=image_width,
+            image_height=image_height,
+            memory_spec=memory_spec,
+            start_cycles=starts,
+            line_buffers=line_buffers,
+            generator="darkroom",
+            coalesce_factors={name: 1 for name in linearized.stage_names()},
+            solver_stats={"dummy_stages": dummy_stages, "strategy": "linearize+asap"},
+        )

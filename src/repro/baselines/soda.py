@@ -1,0 +1,83 @@
+"""SODA-style baseline: FIFO (dual-port SRAM) line buffers with FIFO splitting.
+
+SODA [Chi et al. 2018] implements each line buffer as a chain of FIFOs.  The
+reuse distance of the tallest consumer determines the chain depth; the final
+partial line (a handful of pixels) is kept in DFF shift registers rather than
+SRAM, which is why SODA's raw SRAM capacity is the smallest of all designs.
+When a producer has several consumers, every FIFO is split into one smaller
+FIFO per consumer (Fig. 4b), keeping capacity but multiplying the number of
+blocks; and since a FIFO by construction performs one push and one pop every
+cycle, every block serves two accesses per cycle, which is where SODA's power
+premium comes from (Sec. 8.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines.base import BaselineGenerator
+from repro.core.schedule import PipelineSchedule
+from repro.errors import BaselineError
+from repro.ir.dag import PipelineDAG
+from repro.memory.allocator import allocate_fifo_buffer
+from repro.memory.spec import MemorySpec, asic_fifo
+
+
+class SodaGenerator(BaselineGenerator):
+    """Generate a SODA-style (FIFO) accelerator design."""
+
+    name = "soda"
+
+    def generate(
+        self,
+        dag: PipelineDAG,
+        image_width: int,
+        image_height: int,
+        memory_spec: MemorySpec | None = None,
+    ) -> PipelineSchedule:
+        if memory_spec is None:
+            memory_spec = asic_fifo()
+        else:
+            if memory_spec.ports < 2:
+                raise BaselineError(
+                    "SODA implements line buffers as FIFOs, which require dual-port "
+                    f"memory blocks; the supplied spec has {memory_spec.ports} port(s)"
+                )
+            memory_spec = replace(
+                memory_spec,
+                name=f"{memory_spec.name}-fifo",
+                style="fifo",
+                allow_coalescing=False,
+            )
+
+        starts = self.asap_schedule(dag, image_width)
+        line_buffers = {}
+        for producer in dag.stage_names():
+            edges = dag.out_edges(producer)
+            if not edges:
+                continue
+            max_height = max(edge.window.height for edge in edges)
+            max_width = max(edge.window.width for edge in edges)
+            reuse_lines = max(0, max_height - 1)
+            reader_heights = {e.consumer: e.window.height for e in edges}
+            line_buffers[producer] = allocate_fifo_buffer(
+                producer,
+                image_width,
+                reuse_lines,
+                memory_spec,
+                num_consumers=len(edges),
+                tail_pixels=max(2, max_width),
+                reader_heights=reader_heights,
+            )
+
+        return PipelineSchedule(
+            dag=dag,
+            image_width=image_width,
+            image_height=image_height,
+            memory_spec=memory_spec,
+            start_cycles=starts,
+            line_buffers=line_buffers,
+            generator="soda",
+            coalesce_factors={name: 1 for name in dag.stage_names()},
+            solver_stats={"strategy": "fifo+asap"},
+        )

@@ -1,0 +1,114 @@
+"""Top-level compiler facade (paper Fig. 5).
+
+:func:`compile_pipeline` ties the framework together: DSL/DAG in, optimized
+schedule + line-buffer configuration out, with hooks to generate Verilog and
+area/power reports.  This is the primary public API of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.schedule import PipelineSchedule
+from repro.core.scheduler import SchedulerOptions, schedule_pipeline
+from repro.ir.dag import PipelineDAG
+from repro.memory.spec import MemorySpec, asic_dual_port
+
+
+@dataclass
+class CompiledAccelerator:
+    """A compiled accelerator: schedule plus lazily-generated artifacts."""
+
+    schedule: PipelineSchedule
+    options: SchedulerOptions
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def dag(self) -> PipelineDAG:
+        return self.schedule.dag
+
+    @property
+    def compile_seconds(self) -> float:
+        return float(self.schedule.solver_stats.get("compile_seconds", 0.0))
+
+    # ----------------------------------------------------------------- RTL
+    def generate_verilog(self) -> str:
+        """Emit synthesizable Verilog for the scheduled pipeline."""
+        from repro.rtl.generator import generate_verilog
+
+        return generate_verilog(self.schedule)
+
+    # ------------------------------------------------------------- analysis
+    def area_report(self):
+        """Memory + PE area summary (ASIC model)."""
+        from repro.estimate.area import area_report
+
+        return area_report(self.schedule)
+
+    def power_report(self):
+        """Memory + PE power summary (ASIC model)."""
+        from repro.estimate.power import power_report
+
+        return power_report(self.schedule)
+
+    def verify(self, *, max_rows: int | None = 16):
+        """Run the cycle-level legality checks (R1-R3) on a reduced image."""
+        from repro.sim.cycle import simulate_schedule
+
+        return simulate_schedule(self.schedule, max_rows=max_rows)
+
+    def describe(self) -> str:
+        return self.schedule.describe()
+
+
+def compile_pipeline(
+    dag: PipelineDAG,
+    *,
+    image_width: int,
+    image_height: int,
+    memory_spec: MemorySpec | None = None,
+    coalescing: bool = False,
+    options: SchedulerOptions | None = None,
+) -> CompiledAccelerator:
+    """Compile a pipeline DAG into a line-buffered accelerator design.
+
+    Parameters
+    ----------
+    dag:
+        The pipeline, from :func:`repro.dsl.parse_pipeline` or
+        :class:`repro.dsl.PipelineBuilder`.
+    image_width, image_height:
+        Input image resolution (e.g. 480x320 or 1920x1080).
+    memory_spec:
+        The on-chip memory structure available; defaults to dual-port ASIC
+        SRAM macros (:func:`repro.memory.spec.asic_dual_port`).
+    coalescing:
+        Enable the line-coalescing optimization (Ours+LC in the paper).
+    options:
+        Full :class:`SchedulerOptions`; ``coalescing`` overrides its field
+        when both are given.
+    """
+    memory_spec = memory_spec or asic_dual_port()
+    options = options or SchedulerOptions()
+    if coalescing:
+        options.coalescing = True
+    schedule = schedule_pipeline(dag, image_width, image_height, memory_spec, options)
+
+    if options.coalescing and options.coalescing_policy == "auto":
+        # Coalescing interacts with downstream buffer sizes through the extra
+        # writer-separation constraints; like any compiler optimization it is
+        # only kept when it actually reduces the allocated on-chip memory.
+        from dataclasses import replace as dc_replace
+
+        plain_options = dc_replace(options, coalescing=False)
+        plain = schedule_pipeline(dag, image_width, image_height, memory_spec, plain_options)
+        if plain.total_allocated_bits < schedule.total_allocated_bits or (
+            plain.total_allocated_bits == schedule.total_allocated_bits
+            and plain.total_blocks < schedule.total_blocks
+        ):
+            plain.generator = "imagen+lc"
+            plain.solver_stats["coalescing_fallback"] = True
+            schedule = plain
+
+    return CompiledAccelerator(schedule=schedule, options=options)

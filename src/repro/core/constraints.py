@@ -1,0 +1,229 @@
+"""Constraint generation for the scheduling ILP (paper Sec. 5.2-5.3).
+
+Three families of constraints are produced from a pipeline DAG:
+
+* **Data dependency** (Eq. 1b): for every producer->consumer edge,
+  ``S_c - S_p >= (SH_c - 1) * W + 1``.
+* **Memory contention** (Eq. 1c / Eq. 12): for every line buffer whose
+  accessor count exceeds the port count, every ``(P+1)``-combination of
+  accessors must contain at least one *separated pair* — a disjunction of
+  pairwise separation constraints.
+* **Coalescing safety** (Sec. 6): when a buffer packs ``F > 1`` lines per
+  block, every consumer must trail the writer by a full stencil height so the
+  writer's block never collects more accesses than it has ports.
+
+Pairwise separation gaps
+------------------------
+For a pair where the *trailing* stage reads ``SH`` lines of the buffer and the
+*leading* stage is the writer, the gap is ``SH * W`` (Eq. 12 with the trailing
+stage's stencil height).  For a pair of two consumers of a buffer coalesced
+with factor ``F``, the trailing consumer's window must additionally clear the
+block boundary, giving ``(SH + F - 1) * W``; with ``F = 1`` this reduces to the
+same ``SH * W``.
+
+Contention constraints are produced as :class:`Disjunction` objects; the
+scheduler decides how to realise the OR (pruning to a single member, big-M
+indicator variables, or sub-problem enumeration).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.access import Accessor
+from repro.ir.dag import PipelineDAG
+from repro.ir.traversal import partial_order
+
+
+@dataclass(frozen=True)
+class DependencyConstraint:
+    """``S_consumer - S_producer >= min_delay`` (Eq. 1b)."""
+
+    producer: str
+    consumer: str
+    min_delay: int
+
+
+@dataclass(frozen=True)
+class PairSeparation:
+    """One candidate contention constraint: ``trailing`` stays strictly behind ``leading``.
+
+    Linear form: ``S_trailing - S_leading >= min_gap``.
+    """
+
+    buffer: str
+    trailing: str
+    leading: str
+    stencil_height: int
+    min_gap: int
+
+
+@dataclass
+class Disjunction:
+    """At least one of ``candidates`` must hold (one per (P+1)-combination)."""
+
+    buffer: str
+    combination: tuple[str, ...]
+    candidates: list[PairSeparation] = field(default_factory=list)
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.candidates) == 1
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.candidates
+
+
+def buffer_accessors(dag: PipelineDAG, producer: str) -> list[Accessor]:
+    """The set N_p: stages touching the line buffer of ``producer`` (line heights)."""
+    accessors = [Accessor(stage=producer, stencil_height=1, is_writer=True)]
+    for edge in dag.out_edges(producer):
+        accessors.append(Accessor(stage=edge.consumer, stencil_height=edge.window.height))
+    return accessors
+
+
+def data_dependency_constraints(dag: PipelineDAG, image_width: int) -> list[DependencyConstraint]:
+    """Eq. 1b for every edge of the DAG."""
+    constraints = []
+    for edge in dag.edges():
+        min_delay = (edge.window.height - 1) * image_width + 1
+        constraints.append(
+            DependencyConstraint(producer=edge.producer, consumer=edge.consumer, min_delay=min_delay)
+        )
+    return constraints
+
+
+def coalescing_safety_constraints(
+    dag: PipelineDAG, image_width: int, coalesce_factors: dict[str, int]
+) -> list[DependencyConstraint]:
+    """Hard writer-separation constraints for every coalesced buffer (Sec. 6).
+
+    With ``F > 1`` lines per block the consumer may legally hit one block with
+    up to ``F`` reads, so the writer's block must never also be covered by the
+    consumer's window: the consumer trails by its full stencil height,
+    ``S_c - S_p >= SH_c * W``.
+    """
+    constraints = []
+    for producer, factor in coalesce_factors.items():
+        if factor <= 1 or producer not in dag:
+            continue
+        for edge in dag.out_edges(producer):
+            constraints.append(
+                DependencyConstraint(
+                    producer=producer,
+                    consumer=edge.consumer,
+                    min_delay=edge.window.height * image_width,
+                )
+            )
+    return constraints
+
+
+def pair_gap(
+    trailing: Accessor, leading: Accessor, image_width: int, coalesce_factor: int
+) -> int:
+    """Minimum start-cycle gap for the trailing accessor to clear the leading one."""
+    gap = trailing.stencil_height * image_width
+    if coalesce_factor > 1 and not leading.is_writer:
+        gap += (coalesce_factor - 1) * image_width
+    return gap
+
+
+def contention_disjunctions(
+    dag: PipelineDAG,
+    image_width: int,
+    ports: int,
+    coalesce_factors: dict[str, int] | None = None,
+    order: dict[str, set[str]] | None = None,
+) -> list[Disjunction]:
+    """Eq. 5 instantiated for every over-subscribed line buffer.
+
+    For each producer ``p`` whose buffer is touched by more than ``ports``
+    stages, and for each ``(ports+1)``-combination of those accessors, build
+    the list of candidate pair separations whose disjunction enforces an empty
+    intersection.  Orientations that contradict the data-dependency partial
+    order (the trailing stage being an ancestor of the leading stage) are
+    dropped because they can never be satisfied.
+    """
+    if ports < 1:
+        raise ValueError("Port count must be at least 1")
+    factors = coalesce_factors or {}
+    order = order if order is not None else partial_order(dag)
+    disjunctions: list[Disjunction] = []
+
+    for producer in dag.stage_names():
+        consumers = dag.consumers_of(producer)
+        if not consumers:
+            continue
+        factor = max(1, factors.get(producer, 1))
+        accessors = buffer_accessors(dag, producer)
+        by_name = {a.stage: a for a in accessors}
+
+        if factor > 1:
+            # Coalesced buffer (Sec. 6): a single consumer may already place up
+            # to ``factor`` accesses on one block, so the line-granularity
+            # combination argument no longer applies.  Writer separation is a
+            # hard constraint (coalescing_safety_constraints); here every pair
+            # of consumers must keep their windows in disjoint blocks, with the
+            # orientation left as a (two-way) disjunction when the DAG imposes
+            # no order.
+            if len(consumers) < 2:
+                continue
+            for pair in itertools.combinations(sorted(consumers), 2):
+                candidates: list[PairSeparation] = []
+                for trailing_name, leading_name in itertools.permutations(pair, 2):
+                    if leading_name in order[trailing_name]:
+                        continue
+                    trailing = by_name[trailing_name]
+                    leading = by_name[leading_name]
+                    candidates.append(
+                        PairSeparation(
+                            buffer=producer,
+                            trailing=trailing_name,
+                            leading=leading_name,
+                            stencil_height=trailing.stencil_height,
+                            min_gap=pair_gap(trailing, leading, image_width, factor),
+                        )
+                    )
+                disjunctions.append(
+                    Disjunction(buffer=producer, combination=tuple(pair), candidates=candidates)
+                )
+            continue
+
+        if len(accessors) <= ports:
+            continue
+
+        for combination in itertools.combinations(sorted(by_name), ports + 1):
+            candidates: list[PairSeparation] = []
+            for trailing_name, leading_name in itertools.permutations(combination, 2):
+                trailing = by_name[trailing_name]
+                leading = by_name[leading_name]
+                # The writer can never trail one of its own consumers.
+                if trailing.is_writer:
+                    continue
+                # If the leading stage depends on the trailing one, the trailing
+                # stage necessarily starts earlier and can never be behind.
+                if trailing_name != leading_name and leading_name in order[trailing_name]:
+                    continue
+                candidates.append(
+                    PairSeparation(
+                        buffer=producer,
+                        trailing=trailing_name,
+                        leading=leading_name,
+                        stencil_height=trailing.stencil_height,
+                        min_gap=pair_gap(trailing, leading, image_width, factor),
+                    )
+                )
+            disjunctions.append(
+                Disjunction(buffer=producer, combination=tuple(combination), candidates=candidates)
+            )
+    return disjunctions
+
+
+def schedule_horizon(dag: PipelineDAG, image_width: int) -> int:
+    """A safe upper bound on any optimal start cycle (used for variable bounds and big-M)."""
+    total = image_width  # slack
+    for edge in dag.edges():
+        total += (edge.window.height + 2) * image_width + 2
+    return total

@@ -1,0 +1,124 @@
+"""The pipeline schedule produced by the optimizer or a baseline generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SchedulingError
+from repro.ir.dag import PipelineDAG
+from repro.memory.linebuffer import LineBufferConfig
+from repro.memory.spec import MemorySpec
+
+
+@dataclass
+class PipelineSchedule:
+    """A fully-determined line-buffered accelerator design.
+
+    The schedule records, for every stage, its start cycle (the optimization
+    variables of Eq. 1a) and, for every producer, the physical line-buffer
+    configuration realising the resulting delays.  It is the single artifact
+    consumed by the simulators, the estimators and the RTL generator.
+    """
+
+    dag: PipelineDAG
+    image_width: int
+    image_height: int
+    memory_spec: MemorySpec
+    start_cycles: dict[str, int]
+    line_buffers: dict[str, LineBufferConfig]
+    generator: str = "imagen"
+    coalesce_factors: dict[str, int] = field(default_factory=dict)
+    solver_stats: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.dag.stage_names():
+            if name not in self.start_cycles:
+                raise SchedulingError(f"Schedule is missing a start cycle for stage {name!r}")
+
+    # --------------------------------------------------------------- timing
+    def start(self, stage: str) -> int:
+        try:
+            return self.start_cycles[stage]
+        except KeyError:
+            raise SchedulingError(f"Unknown stage {stage!r} in schedule") from None
+
+    def delay(self, producer: str, consumer: str) -> int:
+        """Start-cycle gap between a producer and one of its consumers."""
+        return self.start(consumer) - self.start(producer)
+
+    def max_delay(self, producer: str) -> int:
+        """The largest consumer delay of ``producer`` (0 when it has none)."""
+        consumers = self.dag.consumers_of(producer)
+        if not consumers:
+            return 0
+        return max(self.delay(producer, c) for c in consumers)
+
+    @property
+    def pixels_per_frame(self) -> int:
+        return self.image_width * self.image_height
+
+    @property
+    def steady_state_throughput(self) -> float:
+        """Pixels produced per cycle once the pipeline is primed (by construction 1.0)."""
+        return 1.0
+
+    @property
+    def end_to_end_latency_cycles(self) -> int:
+        """Cycles from the first input pixel until the last output pixel."""
+        outputs = self.dag.output_stages()
+        if not outputs:
+            raise SchedulingError("Pipeline has no output stage")
+        return max(self.start(o.name) for o in outputs) + self.pixels_per_frame
+
+    @property
+    def startup_latency_cycles(self) -> int:
+        """Cycles before the first output pixel appears."""
+        outputs = self.dag.output_stages()
+        return max(self.start(o.name) for o in outputs) + 1
+
+    # --------------------------------------------------------------- memory
+    @property
+    def total_line_slots(self) -> int:
+        return sum(config.lines for config in self.line_buffers.values())
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(config.num_blocks for config in self.line_buffers.values())
+
+    @property
+    def total_allocated_bits(self) -> int:
+        return sum(config.allocated_bits for config in self.line_buffers.values())
+
+    @property
+    def total_allocated_kbytes(self) -> float:
+        return self.total_allocated_bits / 8192.0
+
+    @property
+    def total_data_bits(self) -> int:
+        return sum(config.data_bits for config in self.line_buffers.values())
+
+    @property
+    def total_data_kbytes(self) -> float:
+        return self.total_data_bits / 8192.0
+
+    @property
+    def total_dff_pixels(self) -> int:
+        return sum(config.dff_pixels for config in self.line_buffers.values())
+
+    # --------------------------------------------------------------- report
+    def describe(self) -> str:
+        lines = [
+            f"schedule[{self.generator}] for {self.dag.name} "
+            f"({self.image_width}x{self.image_height}, {self.memory_spec.name})"
+        ]
+        for name in self.dag.stage_names():
+            start = self.start(name)
+            buffer = self.line_buffers.get(name)
+            extra = f", LB={buffer.lines} lines/{buffer.num_blocks} blocks" if buffer else ""
+            lines.append(f"  {name}: start={start}{extra}")
+        lines.append(
+            f"  total: {self.total_blocks} blocks, {self.total_allocated_kbytes:.1f} KB allocated, "
+            f"{self.total_data_kbytes:.1f} KB data"
+        )
+        return "\n".join(lines)

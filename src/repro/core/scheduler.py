@@ -1,0 +1,407 @@
+"""The ILP scheduler (paper Sec. 5.2-5.5).
+
+Given a pipeline DAG, the image width and an on-chip memory specification,
+the scheduler assigns a start cycle to every stage such that
+
+* data dependencies hold (R1, Eq. 1b),
+* no line buffer block ever receives more accesses than it has ports
+  (R3, Eq. 1c realised through pairwise separations, Eq. 12),
+* the total line-buffer size (Eq. 1a / Eq. 2) is minimal.
+
+The problem is an Integer Linear Program.  Disjunctive contention constraints
+(Sec. 5.4) are handled either with big-M indicator variables (default) or by
+enumerating sub-problems; constraint pruning removes dominated disjuncts in
+both cases.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.core import access
+from repro.core.constraints import (
+    DependencyConstraint,
+    Disjunction,
+    PairSeparation,
+    coalescing_safety_constraints,
+    contention_disjunctions,
+    data_dependency_constraints,
+    schedule_horizon,
+)
+from repro.core.coalescing import coalescing_factors
+from repro.core.pruning import count_subproblems, prune_disjunctions
+from repro.core.schedule import PipelineSchedule
+from repro.errors import SchedulingError
+from repro.ilp.expr import linear_sum
+from repro.ilp.model import Model, SolveStatus
+from repro.ilp.solver import solve
+from repro.ir.dag import PipelineDAG
+from repro.ir.traversal import partial_order
+from repro.memory.allocator import (
+    allocate_line_buffer,
+    allocate_register_buffer,
+    dff_realization_threshold,
+)
+from repro.memory.spec import MemorySpec
+
+
+@dataclass
+class SchedulerOptions:
+    """Knobs of the scheduling ILP.
+
+    Attributes
+    ----------
+    ports:
+        Override the port count of the memory spec (``None`` = use the spec).
+    coalescing:
+        Enable the line-coalescing optimization (Sec. 6).
+    coalescing_policy:
+        ``"auto"`` (default) coalesces only buffers where it cannot hurt —
+        single-consumer buffers, where no extra consumer separation is needed;
+        ``"all"`` coalesces every buffer the block size allows (the Fig. 10
+        DSE uses this together with ``per_stage_coalescing``).
+    pruning:
+        Enable constraint pruning (Sec. 5.4).
+    disjunction_strategy:
+        ``"bigm"`` (indicator variables, one solve) or ``"enumerate"``
+        (Cartesian product of sub-problems, the paper's formulation).
+    backend:
+        ILP backend passed to :func:`repro.ilp.solver.solve`.
+    max_subproblems:
+        Safety valve for the enumeration strategy.
+    """
+
+    ports: int | None = None
+    coalescing: bool = False
+    coalescing_policy: str = "auto"
+    pruning: bool = True
+    disjunction_strategy: str = "bigm"
+    backend: str = "auto"
+    max_subproblems: int = 4096
+    per_stage_coalescing: dict[str, bool] = field(default_factory=dict)
+
+
+def schedule_pipeline(
+    dag: PipelineDAG,
+    image_width: int,
+    image_height: int,
+    memory_spec: MemorySpec,
+    options: SchedulerOptions | None = None,
+) -> PipelineSchedule:
+    """Solve the scheduling ILP and return the resulting accelerator design."""
+    options = options or SchedulerOptions()
+    if image_width < 2 or image_height < 1:
+        raise SchedulingError(f"Unsupported image size {image_width}x{image_height}")
+    dag.validated()
+
+    ports = options.ports if options.ports is not None else memory_spec.ports
+    if ports < 1:
+        raise SchedulingError("Memory ports must be >= 1")
+
+    started = time.perf_counter()
+    factors = _effective_factors(dag, image_width, memory_spec, options)
+    order = partial_order(dag)
+
+    dependencies = data_dependency_constraints(dag, image_width)
+    dependencies.extend(coalescing_safety_constraints(dag, image_width, factors))
+    disjunctions = contention_disjunctions(
+        dag, image_width, ports, coalesce_factors=factors, order=order
+    )
+    raw_candidate_count = sum(len(d.candidates) for d in disjunctions)
+    if options.pruning:
+        disjunctions = prune_disjunctions(disjunctions, dag, order)
+    pruned_candidate_count = sum(len(d.candidates) for d in disjunctions)
+
+    for disjunction in disjunctions:
+        if disjunction.is_empty:
+            raise SchedulingError(
+                f"Line buffer of {disjunction.buffer!r} cannot satisfy the port limit "
+                f"({ports} ports) for accessors {disjunction.combination}"
+            )
+
+    horizon = schedule_horizon(dag, image_width)
+    if options.disjunction_strategy == "enumerate":
+        start_cycles, objective, solver_stats = _solve_by_enumeration(
+            dag, image_width, dependencies, disjunctions, horizon, options
+        )
+    elif options.disjunction_strategy == "bigm":
+        start_cycles, objective, solver_stats = _solve_big_m(
+            dag, image_width, dependencies, disjunctions, horizon, options
+        )
+    else:
+        raise SchedulingError(f"Unknown disjunction strategy {options.disjunction_strategy!r}")
+
+    elapsed = time.perf_counter() - started
+    solver_stats.update(
+        {
+            "objective": objective,
+            "compile_seconds": elapsed,
+            "ports": ports,
+            "raw_contention_candidates": raw_candidate_count,
+            "pruned_contention_candidates": pruned_candidate_count,
+            "num_disjunctions": len(disjunctions),
+            "subproblems": count_subproblems(disjunctions),
+            "pruning": options.pruning,
+            "strategy": options.disjunction_strategy,
+        }
+    )
+
+    line_buffers = _build_line_buffers(
+        dag, image_width, memory_spec, start_cycles, factors, ports
+    )
+    generator = "imagen+lc" if options.coalescing else "imagen"
+    return PipelineSchedule(
+        dag=dag,
+        image_width=image_width,
+        image_height=image_height,
+        memory_spec=memory_spec,
+        start_cycles=start_cycles,
+        line_buffers=line_buffers,
+        generator=generator,
+        coalesce_factors=factors,
+        solver_stats=solver_stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# ILP construction helpers
+# ---------------------------------------------------------------------------
+def _effective_factors(
+    dag: PipelineDAG,
+    image_width: int,
+    memory_spec: MemorySpec,
+    options: SchedulerOptions,
+) -> dict[str, int]:
+    if not options.coalescing:
+        return {name: 1 for name in dag.stage_names()}
+    factors = coalescing_factors(dag, image_width, memory_spec)
+    if options.coalescing_policy == "auto":
+        # Coalescing only pays off where packing lines actually removes blocks:
+        # multi-consumer buffers need extra consumer separation (which inflates
+        # downstream buffers), and buffers shorter than three lines either gain
+        # nothing or lose their cheap DFF realisation.  Leave those at factor 1
+        # unless explicitly requested (per_stage_coalescing / the DSE sweep).
+        for producer in dag.stage_names():
+            if options.per_stage_coalescing.get(producer, False):
+                continue
+            edges = dag.out_edges(producer)
+            if not edges:
+                continue
+            tallest = max(edge.window.height for edge in edges)
+            if len(edges) > 1 or tallest < 3:
+                factors[producer] = 1
+    if options.per_stage_coalescing:
+        for stage, enabled in options.per_stage_coalescing.items():
+            if not enabled and stage in factors:
+                factors[stage] = 1
+    return factors
+
+
+def _base_model(
+    dag: PipelineDAG,
+    dependencies: list[DependencyConstraint],
+    horizon: int,
+    name: str,
+):
+    """The model shared by both disjunction strategies: variables, Eq. 1a/1b."""
+    model = Model(name=name, sense="min")
+    start_vars = {
+        stage: model.add_integer_var(f"S[{stage}]", lb=0, ub=horizon)
+        for stage in dag.stage_names()
+    }
+    for stage in dag.input_stages():
+        model.add_constraint(
+            (start_vars[stage.name] + 0.0).eq(0.0), name=f"anchor[{stage.name}]"
+        )
+    for dep in dependencies:
+        model.add_constraint(
+            start_vars[dep.consumer] - start_vars[dep.producer] >= dep.min_delay,
+            name=f"dep[{dep.producer}->{dep.consumer}]",
+        )
+
+    # Objective: sum over producers of the maximum consumer delay (Eq. 1a with
+    # the ceiling dropped, which the paper shows preserves optimality).
+    delay_vars = {}
+    for producer in dag.stage_names():
+        consumers = dag.consumers_of(producer)
+        if not consumers:
+            continue
+        delay = model.add_integer_var(f"D[{producer}]", lb=0, ub=horizon)
+        delay_vars[producer] = delay
+        for consumer in consumers:
+            model.add_constraint(
+                delay - (start_vars[consumer] - start_vars[producer]) >= 0,
+                name=f"maxdelay[{producer}->{consumer}]",
+            )
+    model.set_objective(linear_sum(delay_vars.values()))
+    return model, start_vars, delay_vars
+
+
+def _separation_constraint(start_vars, separation: PairSeparation):
+    gap = separation.min_gap
+    return (
+        start_vars[separation.trailing] - start_vars[separation.leading] >= gap
+    )
+
+
+def _solve_big_m(
+    dag: PipelineDAG,
+    image_width: int,
+    dependencies: list[DependencyConstraint],
+    disjunctions: list[Disjunction],
+    horizon: int,
+    options: SchedulerOptions,
+):
+    model, start_vars, _ = _base_model(dag, dependencies, horizon, f"{dag.name}-bigm")
+    big_m = 2 * horizon + image_width
+
+    for index, disjunction in enumerate(disjunctions):
+        if disjunction.is_singleton:
+            model.add_constraint(
+                _separation_constraint(start_vars, disjunction.candidates[0]),
+                name=f"sep[{disjunction.buffer}:{index}]",
+            )
+            continue
+        indicators = []
+        for cand_index, candidate in enumerate(disjunction.candidates):
+            indicator = model.add_binary_var(f"y[{disjunction.buffer}:{index}:{cand_index}]")
+            indicators.append(indicator)
+            gap = candidate.min_gap
+            # S_t - S_l >= gap - M*(1 - y): enforced when the indicator y is 1.
+            model.add_constraint(
+                start_vars[candidate.trailing]
+                - start_vars[candidate.leading]
+                - big_m * indicator
+                >= gap - big_m,
+                name=f"sepM[{disjunction.buffer}:{index}:{cand_index}]",
+            )
+        model.add_constraint(
+            linear_sum(indicators) >= 1, name=f"cover[{disjunction.buffer}:{index}]"
+        )
+
+    result = solve(model, backend=options.backend, raise_on_failure=False)
+    if result.status is not SolveStatus.OPTIMAL:
+        raise SchedulingError(
+            f"Scheduling ILP for {dag.name!r} is {result.status.value} "
+            f"(backend {result.backend}, {result.message})"
+        )
+    start_cycles = {stage: int(round(result.value(var))) for stage, var in start_vars.items()}
+    stats = {
+        "backend": result.backend,
+        "ilp_variables": model.num_variables,
+        "ilp_constraints": model.num_constraints,
+        "lp_iterations": result.iterations,
+        "solves": 1,
+    }
+    return start_cycles, float(result.objective or 0.0), stats
+
+
+def _solve_by_enumeration(
+    dag: PipelineDAG,
+    image_width: int,
+    dependencies: list[DependencyConstraint],
+    disjunctions: list[Disjunction],
+    horizon: int,
+    options: SchedulerOptions,
+):
+    singles = [d for d in disjunctions if d.is_singleton]
+    multis = [d for d in disjunctions if not d.is_singleton]
+    total = count_subproblems(multis)
+    if total > options.max_subproblems:
+        raise SchedulingError(
+            f"Enumeration would require {total} sub-problems "
+            f"(limit {options.max_subproblems}); use the big-M strategy"
+        )
+
+    best_cycles: dict[str, int] | None = None
+    best_objective = float("inf")
+    solves = 0
+    variables = constraints = 0
+    choice_lists = [d.candidates for d in multis]
+    for combo in itertools.product(*choice_lists) if multis else [()]:
+        model, start_vars, _ = _base_model(
+            dag, dependencies, horizon, f"{dag.name}-enum-{solves}"
+        )
+        for index, disjunction in enumerate(singles):
+            model.add_constraint(
+                _separation_constraint(start_vars, disjunction.candidates[0]),
+                name=f"sep[{disjunction.buffer}:{index}]",
+            )
+        for index, candidate in enumerate(combo):
+            model.add_constraint(
+                _separation_constraint(start_vars, candidate), name=f"sepE[{index}]"
+            )
+        solves += 1
+        variables = model.num_variables
+        constraints = model.num_constraints
+        result = solve(model, backend=options.backend, raise_on_failure=False)
+        if result.status is not SolveStatus.OPTIMAL:
+            continue
+        if result.objective is not None and result.objective < best_objective:
+            best_objective = float(result.objective)
+            best_cycles = {
+                stage: int(round(result.value(var))) for stage, var in start_vars.items()
+            }
+
+    if best_cycles is None:
+        raise SchedulingError(
+            f"All {solves} enumeration sub-problems for {dag.name!r} were infeasible"
+        )
+    stats = {
+        "backend": options.backend,
+        "ilp_variables": variables,
+        "ilp_constraints": constraints,
+        "solves": solves,
+    }
+    return best_cycles, best_objective, stats
+
+
+# ---------------------------------------------------------------------------
+# Physical realisation
+# ---------------------------------------------------------------------------
+def _build_line_buffers(
+    dag: PipelineDAG,
+    image_width: int,
+    memory_spec: MemorySpec,
+    start_cycles: dict[str, int],
+    factors: dict[str, int],
+    ports: int,
+):
+    line_buffers = {}
+    for producer in dag.stage_names():
+        edges = dag.out_edges(producer)
+        if not edges:
+            continue
+        delays = [
+            (start_cycles[e.consumer] - start_cycles[producer], e.window.height) for e in edges
+        ]
+        if min(delay for delay, _ in delays) <= 0:
+            raise SchedulingError(
+                f"Non-positive producer->consumer delay for {producer!r}; schedule is invalid"
+            )
+        reader_heights = {edge.consumer: edge.window.height for edge in edges}
+        max_delay = max(delay for delay, _ in delays)
+        if max_delay <= dff_realization_threshold(image_width):
+            line_buffers[producer] = allocate_register_buffer(
+                producer, image_width, max_delay, memory_spec, reader_heights=reader_heights
+            )
+            continue
+        factor = max(1, factors.get(producer, 1))
+        lines = access.minimal_slot_count(
+            image_width, ports, delays, coalesce_factor=factor
+        )
+        factor = min(factor, lines)
+        if factor > 1 and lines % factor:
+            # Keep the line->block grouping stable as the buffer wraps around.
+            lines += factor - (lines % factor)
+        line_buffers[producer] = allocate_line_buffer(
+            producer,
+            image_width,
+            lines,
+            memory_spec,
+            coalesce_factor=factor,
+            reader_heights=reader_heights,
+        )
+    return line_buffers

@@ -1,0 +1,6 @@
+"""Design-space exploration over per-stage memory configurations (paper Sec. 8.5)."""
+
+from repro.dse.sweep import DesignPoint, sweep_memory_configurations
+from repro.dse.pareto import pareto_front
+
+__all__ = ["DesignPoint", "sweep_memory_configurations", "pareto_front"]

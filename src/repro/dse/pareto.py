@@ -1,0 +1,35 @@
+"""Pareto-front extraction for (area, power) design points."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    points: Iterable[T],
+    objectives: Callable[[T], Sequence[float]],
+) -> list[T]:
+    """Return the Pareto-optimal subset of ``points`` (all objectives minimised).
+
+    A point is kept when no other point is at least as good in every objective
+    and strictly better in at least one.
+    """
+    materialised = list(points)
+    values = [tuple(objectives(p)) for p in materialised]
+    front: list[T] = []
+    for index, point in enumerate(materialised):
+        dominated = False
+        for other_index, other_values in enumerate(values):
+            if other_index == index:
+                continue
+            mine = values[index]
+            if all(o <= m for o, m in zip(other_values, mine)) and any(
+                o < m for o, m in zip(other_values, mine)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(point)
+    return front

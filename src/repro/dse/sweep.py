@@ -1,0 +1,122 @@
+"""Per-stage memory-configuration sweep (reproduces Fig. 10).
+
+Each line buffer in an algorithm may independently be implemented as a plain
+dual-port memory (DP) or as a dual-port memory with line coalescing (DPLC).
+The sweep enumerates every combination, compiles the pipeline for each, and
+reports area and power so a designer (or the benchmark harness) can extract
+the Pareto frontier.
+
+Only buffers where coalescing can actually change the design (at least two
+line slots and a block large enough for two lines) are swept; the rest are
+fixed to DP, which keeps the sweep size at ``2^k`` for the ``k`` buffers that
+matter — the paper's example of four configurable stages giving 16 designs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.compiler import CompiledAccelerator, compile_pipeline
+from repro.core.scheduler import SchedulerOptions
+from repro.errors import ReproError
+from repro.estimate.report import AcceleratorReport, accelerator_report
+from repro.estimate.sram_model import SramTechModel
+from repro.ir.dag import PipelineDAG
+from repro.memory.spec import MemorySpec, asic_dual_port
+
+
+@dataclass
+class DesignPoint:
+    """One explored memory configuration and its evaluated metrics."""
+
+    configuration: dict[str, str]  # buffer name -> "DP" | "DPLC"
+    accelerator: CompiledAccelerator
+    report: AcceleratorReport
+    label: str = ""
+    metadata: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def area_mm2(self) -> float:
+        return self.report.memory_area_mm2
+
+    @property
+    def power_mw(self) -> float:
+        return self.report.memory_power_mw
+
+    @property
+    def coalesced_stages(self) -> int:
+        return sum(1 for value in self.configuration.values() if value == "DPLC")
+
+
+def _configurable_buffers(
+    dag: PipelineDAG, image_width: int, image_height: int, memory_spec: MemorySpec
+) -> list[str]:
+    """Buffers whose DP/DPLC choice can change the design."""
+    if memory_spec.coalescing_factor(image_width) <= 1:
+        return []
+    baseline = compile_pipeline(
+        dag, image_width=image_width, image_height=image_height, memory_spec=memory_spec
+    )
+    return [
+        producer
+        for producer, config in baseline.schedule.line_buffers.items()
+        if config.lines >= 2
+    ]
+
+
+def sweep_memory_configurations(
+    dag: PipelineDAG,
+    *,
+    image_width: int,
+    image_height: int,
+    memory_spec: MemorySpec | None = None,
+    tech: SramTechModel | None = None,
+    max_designs: int = 1024,
+    sizing: str = "custom",
+) -> list[DesignPoint]:
+    """Compile every DP/DPLC combination and return the evaluated design points.
+
+    The DSE models an ASIC flow in which memory macros are compiled per design
+    (``sizing="custom"``): a DPLC buffer uses fewer but larger macros, which
+    lowers area but raises per-access energy — the trade-off of Fig. 10.
+    """
+    memory_spec = memory_spec or asic_dual_port()
+    configurable = _configurable_buffers(dag, image_width, image_height, memory_spec)
+    num_designs = 2 ** len(configurable)
+    if num_designs > max_designs:
+        raise ReproError(
+            f"Sweep would produce {num_designs} designs for {len(configurable)} configurable "
+            f"buffers (limit {max_designs})"
+        )
+
+    points: list[DesignPoint] = []
+    for choices in itertools.product(("DP", "DPLC"), repeat=len(configurable)):
+        configuration = dict(zip(configurable, choices))
+        coalesce_any = any(choice == "DPLC" for choice in choices)
+        per_stage = {name: (choice == "DPLC") for name, choice in configuration.items()}
+        options = SchedulerOptions(
+            coalescing=coalesce_any,
+            coalescing_policy="all",
+            per_stage_coalescing=per_stage,
+        )
+        accelerator = compile_pipeline(
+            dag,
+            image_width=image_width,
+            image_height=image_height,
+            memory_spec=memory_spec,
+            options=options,
+        )
+        report = accelerator_report(accelerator.schedule, tech, sizing=sizing)
+        label = "+".join(
+            name for name, choice in configuration.items() if choice == "DPLC"
+        ) or "all-DP"
+        points.append(
+            DesignPoint(
+                configuration=configuration,
+                accelerator=accelerator,
+                report=report,
+                label=label,
+            )
+        )
+    return points

@@ -1,0 +1,38 @@
+"""Darkroom-style domain specific language front end.
+
+Two equivalent entry points are provided:
+
+* :func:`repro.dsl.parser.parse_pipeline` — parse the textual DSL used in the
+  paper (``input K0; K1 = im(x,y) ... end``) into a :class:`PipelineDAG`.
+* :class:`repro.dsl.builder.PipelineBuilder` — construct pipelines directly
+  from Python with operator-overloaded stencil expressions.
+"""
+
+from repro.dsl.ast import (
+    Expr,
+    Const,
+    StageRef,
+    BinOp,
+    UnaryOp,
+    Call,
+    evaluate,
+    references_by_stage,
+    stencil_windows,
+)
+from repro.dsl.parser import parse_pipeline
+from repro.dsl.builder import PipelineBuilder, StageHandle
+
+__all__ = [
+    "Expr",
+    "Const",
+    "StageRef",
+    "BinOp",
+    "UnaryOp",
+    "Call",
+    "evaluate",
+    "references_by_stage",
+    "stencil_windows",
+    "parse_pipeline",
+    "PipelineBuilder",
+    "StageHandle",
+]

@@ -1,0 +1,163 @@
+"""Programmatic pipeline construction.
+
+:class:`PipelineBuilder` is the Python-embedded alternative to the textual
+DSL.  A stage is defined either from an expression AST (the builder derives
+the stencil windows automatically) or from explicit windows when only the
+graph shape matters (e.g. the scalability sweep of Sec. 8.2).
+
+Example
+-------
+>>> builder = PipelineBuilder("blur")
+>>> k0 = builder.input("K0")
+>>> k1 = builder.stage("K1", window_average(k0, 3, 3))
+>>> k2 = builder.output("K2", k1(0, 0) - k0(0, 0))
+>>> dag = builder.build()
+"""
+
+from __future__ import annotations
+
+from repro.dsl import ast
+from repro.errors import DSLSemanticError
+from repro.ir.dag import PipelineDAG, Stage
+from repro.ir.stencil import StencilWindow
+
+
+class StageHandle:
+    """A lightweight reference to a stage usable inside expressions."""
+
+    def __init__(self, builder: "PipelineBuilder", name: str) -> None:
+        self._builder = builder
+        self.name = name
+
+    def __call__(self, dx: int = 0, dy: int = 0) -> ast.StageRef:
+        """Reference this stage at offset ``(dx, dy)``."""
+        return ast.StageRef(self.name, dx, dy)
+
+    def ref(self, dx: int = 0, dy: int = 0) -> ast.StageRef:
+        return self(dx, dy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StageHandle({self.name!r})"
+
+
+class PipelineBuilder:
+    """Incremental builder of :class:`PipelineDAG` objects."""
+
+    def __init__(self, name: str = "pipeline") -> None:
+        self._dag = PipelineDAG(name)
+        self._built = False
+
+    # ----------------------------------------------------------------- stages
+    def input(self, name: str) -> StageHandle:
+        """Declare an input stage (fed from off-chip memory)."""
+        self._dag.add_stage(Stage(name=name, is_input=True))
+        return StageHandle(self, name)
+
+    def stage(
+        self,
+        name: str,
+        expression: ast.Expr | None = None,
+        *,
+        reads: dict[StageHandle | str, StencilWindow] | None = None,
+        is_output: bool = False,
+    ) -> StageHandle:
+        """Declare a compute stage.
+
+        Either ``expression`` (windows are derived from the references it
+        contains) or ``reads`` (explicit producer windows, no arithmetic) must
+        be supplied.
+        """
+        if expression is None and not reads:
+            raise DSLSemanticError(
+                f"Stage {name!r} needs an expression or an explicit 'reads' mapping"
+            )
+        self._dag.add_stage(Stage(name=name, is_output=is_output, expression=expression))
+
+        windows: dict[str, StencilWindow] = {}
+        if expression is not None:
+            windows.update(ast.stencil_windows(expression))
+        if reads:
+            for producer, window in reads.items():
+                producer_name = producer.name if isinstance(producer, StageHandle) else producer
+                if producer_name in windows:
+                    windows[producer_name] = windows[producer_name].union(window)
+                else:
+                    windows[producer_name] = window
+        if not windows:
+            raise DSLSemanticError(f"Stage {name!r} does not read any producer")
+        for producer_name, window in windows.items():
+            self._dag.add_edge(producer_name, name, window)
+        return StageHandle(self, name)
+
+    def output(
+        self,
+        name: str,
+        expression: ast.Expr | None = None,
+        *,
+        reads: dict[StageHandle | str, StencilWindow] | None = None,
+    ) -> StageHandle:
+        """Declare an output stage (streams its result off-chip)."""
+        return self.stage(name, expression, reads=reads, is_output=True)
+
+    # ------------------------------------------------------------------ build
+    def build(self) -> PipelineDAG:
+        """Validate and return the pipeline DAG."""
+        if self._built:
+            raise DSLSemanticError("PipelineBuilder.build() may only be called once")
+        self._built = True
+        return self._dag.validated()
+
+    @property
+    def dag(self) -> PipelineDAG:
+        """Access the partially-constructed DAG (mainly for tests)."""
+        return self._dag
+
+
+# ---------------------------------------------------------------------------
+# Expression helpers used by the algorithm suite
+# ---------------------------------------------------------------------------
+def window_sum(stage: StageHandle, width: int, height: int, *, centered: bool = True) -> ast.Expr:
+    """Sum of a ``width x height`` window of ``stage``."""
+    window = StencilWindow.centered(width, height) if centered else StencilWindow.from_extent(width, height)
+    terms = [stage(dx, dy) for dx, dy in window.offsets()]
+    expr: ast.Expr = terms[0]
+    for term in terms[1:]:
+        expr = expr + term
+    return expr
+
+
+def window_average(stage: StageHandle, width: int, height: int, *, centered: bool = True) -> ast.Expr:
+    """Mean of a ``width x height`` window of ``stage``."""
+    return window_sum(stage, width, height, centered=centered) / float(width * height)
+
+
+def convolve(
+    stage: StageHandle,
+    kernel: list[list[float]],
+    *,
+    centered: bool = True,
+    normalize: bool = False,
+) -> ast.Expr:
+    """2-D convolution (correlation form) of ``stage`` with a constant kernel."""
+    height = len(kernel)
+    if height == 0 or any(len(row) != len(kernel[0]) for row in kernel):
+        raise DSLSemanticError("Convolution kernel must be a non-empty rectangular matrix")
+    width = len(kernel[0])
+    window = StencilWindow.centered(width, height) if centered else StencilWindow.from_extent(width, height)
+    terms: list[ast.Expr] = []
+    total = 0.0
+    for row_index, dy in enumerate(range(window.min_dy, window.max_dy + 1)):
+        for col_index, dx in enumerate(range(window.min_dx, window.max_dx + 1)):
+            weight = float(kernel[row_index][col_index])
+            total += weight
+            if weight == 0.0:
+                continue
+            terms.append(stage(dx, dy) * weight if weight != 1.0 else stage(dx, dy))
+    if not terms:
+        raise DSLSemanticError("Convolution kernel is all zeros")
+    expr: ast.Expr = terms[0]
+    for term in terms[1:]:
+        expr = expr + term
+    if normalize and total not in (0.0, 1.0):
+        expr = expr / total
+    return expr

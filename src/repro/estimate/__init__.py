@@ -1,0 +1,21 @@
+"""Area and power estimation for generated accelerators (ASIC and FPGA)."""
+
+from repro.estimate.sram_model import SramTechModel, DEFAULT_TECH
+from repro.estimate.area import AreaReport, area_report
+from repro.estimate.power import PowerReport, power_report, buffer_access_rates
+from repro.estimate.fpga import FpgaReport, fpga_report
+from repro.estimate.report import AcceleratorReport, accelerator_report
+
+__all__ = [
+    "SramTechModel",
+    "DEFAULT_TECH",
+    "AreaReport",
+    "area_report",
+    "PowerReport",
+    "power_report",
+    "buffer_access_rates",
+    "FpgaReport",
+    "fpga_report",
+    "AcceleratorReport",
+    "accelerator_report",
+]

@@ -1,0 +1,94 @@
+"""Memory (and PE) area estimation for a scheduled accelerator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import PipelineSchedule
+from repro.dsl.ast import estimate_operation_count
+from repro.estimate.sram_model import DEFAULT_TECH, SramTechModel
+
+
+@dataclass
+class BufferArea:
+    """Area breakdown of one line buffer (mm^2)."""
+
+    producer: str
+    num_blocks: int
+    sram_mm2: float
+    dff_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.sram_mm2 + self.dff_mm2
+
+
+@dataclass
+class AreaReport:
+    """Accelerator area summary (mm^2) plus the SRAM-size metrics of Fig. 8/9."""
+
+    schedule: PipelineSchedule
+    buffers: dict[str, BufferArea] = field(default_factory=dict)
+    pe_mm2: float = 0.0
+
+    @property
+    def memory_mm2(self) -> float:
+        return sum(b.total_mm2 for b in self.buffers.values())
+
+    @property
+    def total_mm2(self) -> float:
+        return self.memory_mm2 + self.pe_mm2
+
+    @property
+    def memory_fraction(self) -> float:
+        total = self.total_mm2
+        return self.memory_mm2 / total if total else 0.0
+
+    @property
+    def sram_blocks(self) -> int:
+        return sum(b.num_blocks for b in self.buffers.values())
+
+    @property
+    def sram_kbytes(self) -> float:
+        """The "SRAM size" reported in Fig. 8a/9a: allocated block capacity."""
+        return self.schedule.total_allocated_kbytes
+
+    @property
+    def sram_data_kbytes(self) -> float:
+        """Raw pixel capacity (excludes block-granularity fragmentation)."""
+        return self.schedule.total_data_kbytes
+
+
+def area_report(
+    schedule: PipelineSchedule,
+    tech: SramTechModel | None = None,
+    *,
+    sizing: str = "fixed",
+) -> AreaReport:
+    """Estimate memory and PE area of a scheduled accelerator (mm^2).
+
+    See :func:`repro.estimate.power.power_report` for the meaning of ``sizing``.
+    """
+    tech = tech or DEFAULT_TECH
+    report = AreaReport(schedule=schedule)
+
+    for producer, config in schedule.line_buffers.items():
+        ports = config.spec.ports
+        if sizing == "custom" and config.blocks:
+            sram = sum(
+                tech.macro_area_mm2(block.used_bits or config.spec.block_bits, ports)
+                for block in config.blocks
+            )
+        else:
+            sram = config.num_blocks * tech.block_area_mm2(config.spec)
+        dff = tech.dff_area_mm2(config.dff_pixels, config.spec.pixel_bits) if config.dff_pixels else 0.0
+        report.buffers[producer] = BufferArea(
+            producer=producer, num_blocks=config.num_blocks, sram_mm2=sram, dff_mm2=dff
+        )
+
+    ops = 0
+    for stage in schedule.dag.stages():
+        if stage.expression is not None:
+            ops += estimate_operation_count(stage.expression)
+    report.pe_mm2 = tech.pe_area_mm2(ops)
+    return report

@@ -1,0 +1,79 @@
+"""Combined accelerator-level report (area + power + memory metrics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import PipelineSchedule
+from repro.estimate.area import AreaReport, area_report
+from repro.estimate.power import PowerReport, power_report
+from repro.estimate.sram_model import DEFAULT_TECH, SramTechModel
+
+
+@dataclass
+class AcceleratorReport:
+    """Roll-up of the metrics the paper reports per design point."""
+
+    schedule: PipelineSchedule
+    area: AreaReport
+    power: PowerReport
+
+    @property
+    def generator(self) -> str:
+        return self.schedule.generator
+
+    @property
+    def sram_kbytes(self) -> float:
+        return self.area.sram_kbytes
+
+    @property
+    def sram_blocks(self) -> int:
+        return self.area.sram_blocks
+
+    @property
+    def memory_power_mw(self) -> float:
+        return self.power.memory_mw
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.power.total_mw
+
+    @property
+    def memory_area_mm2(self) -> float:
+        return self.area.memory_mm2
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.area.total_mm2
+
+    def row(self) -> dict[str, float | int | str]:
+        """A flat dictionary convenient for benchmark tables."""
+        return {
+            "generator": self.generator,
+            "sram_kb": round(self.sram_kbytes, 2),
+            "sram_blocks": self.sram_blocks,
+            "memory_power_mw": round(self.memory_power_mw, 3),
+            "total_power_mw": round(self.total_power_mw, 3),
+            "memory_area_mm2": round(self.memory_area_mm2, 4),
+            "total_area_mm2": round(self.total_area_mm2, 4),
+        }
+
+
+def accelerator_report(
+    schedule: PipelineSchedule,
+    tech: SramTechModel | None = None,
+    *,
+    sizing: str = "fixed",
+) -> AcceleratorReport:
+    """Build the combined area/power report for one design.
+
+    ``sizing`` is forwarded to the area and power estimators ("fixed" macro
+    library vs "custom" right-sized macros; see
+    :func:`repro.estimate.power.power_report`).
+    """
+    tech = tech or DEFAULT_TECH
+    return AcceleratorReport(
+        schedule=schedule,
+        area=area_report(schedule, tech, sizing=sizing),
+        power=power_report(schedule, tech, sizing=sizing),
+    )

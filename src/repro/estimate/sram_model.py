@@ -1,0 +1,118 @@
+"""Analytic SRAM macro model (substitute for OpenRAM + FreePDK45).
+
+The paper estimates memory power by combining per-access SRAM energy from
+OpenRAM (45 nm) with access counts from a cycle-level simulator, and reports
+SRAM-dominated accelerator area.  Without the memory compiler we use a small
+analytic model with CACTI-style scaling:
+
+* per-access energy grows with the square root of the macro capacity and by
+  ~35% per extra port (the paper's own FPGA measurement: a BRAM serving two
+  accesses per cycle consumes ~35% more power);
+* leakage is dominated by a per-macro peripheral constant plus a term linear
+  in capacity, and is only weakly affected by the port count;
+* area has a per-macro overhead plus a term linear in capacity, and grows
+  steeply with the port count (SRAM area grows roughly quadratically with
+  ports, Weste & Harris).
+
+Absolute numbers are representative of a 45 nm node at 100 MHz and are *not*
+calibrated against silicon; all evaluation conclusions rely on ratios between
+designs that share the same model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.memory.spec import MemorySpec
+
+
+@dataclass(frozen=True)
+class SramTechModel:
+    """Technology constants of the analytic SRAM model."""
+
+    #: pJ per access: ``(base + slope * sqrt(KB)) * (1 + port_energy_penalty*(ports-1))``
+    access_energy_base_pj: float = 0.30
+    access_energy_slope_pj: float = 0.90
+    port_energy_penalty: float = 0.35
+
+    #: mW of leakage per macro: ``(base + slope * KB) * (1 + port_leak_penalty*(ports-1))``
+    leakage_base_mw: float = 0.05
+    leakage_slope_mw_per_kb: float = 0.10
+    port_leak_penalty: float = 0.08
+
+    #: mm^2 per macro: ``(base + slope * KB) * (1 + port_area_penalty*(ports-1))``
+    area_base_mm2: float = 0.0045
+    area_slope_mm2_per_kb: float = 0.0021
+    port_area_penalty: float = 0.65
+
+    #: DFF (shift register) costs, per pixel of the configured width.
+    dff_energy_per_bit_pj: float = 0.004
+    dff_area_per_bit_mm2: float = 1.2e-6
+    dff_leakage_per_bit_mw: float = 2.0e-5
+
+    #: Compute (MAC/ALU) costs per arithmetic operation.
+    pe_energy_per_op_pj: float = 0.08
+    pe_area_per_op_mm2: float = 0.0006
+    pe_leakage_per_op_mw: float = 0.002
+
+    clock_mhz: float = 100.0
+
+    # ------------------------------------------------------------- per macro
+    def block_kbytes(self, spec: MemorySpec) -> float:
+        return spec.block_bits / 8192.0
+
+    def macro_access_energy_pj(self, bits: int, ports: int) -> float:
+        """Energy of one access to a macro of ``bits`` capacity with ``ports`` ports."""
+        kbytes = max(bits, 1) / 8192.0
+        size_term = self.access_energy_base_pj + self.access_energy_slope_pj * math.sqrt(kbytes)
+        return size_term * (1.0 + self.port_energy_penalty * (ports - 1))
+
+    def macro_leakage_mw(self, bits: int, ports: int) -> float:
+        """Static power of a macro of ``bits`` capacity with ``ports`` ports."""
+        kbytes = max(bits, 1) / 8192.0
+        size_term = self.leakage_base_mw + self.leakage_slope_mw_per_kb * kbytes
+        return size_term * (1.0 + self.port_leak_penalty * (ports - 1))
+
+    def macro_area_mm2(self, bits: int, ports: int) -> float:
+        """Silicon area of a macro of ``bits`` capacity with ``ports`` ports."""
+        kbytes = max(bits, 1) / 8192.0
+        size_term = self.area_base_mm2 + self.area_slope_mm2_per_kb * kbytes
+        return size_term * (1.0 + self.port_area_penalty * (ports - 1))
+
+    def access_energy_pj(self, spec: MemorySpec) -> float:
+        """Energy of one read or write access to one full-size block of ``spec``."""
+        return self.macro_access_energy_pj(spec.block_bits, spec.ports)
+
+    def block_leakage_mw(self, spec: MemorySpec) -> float:
+        """Static power of one full-size block of ``spec``."""
+        return self.macro_leakage_mw(spec.block_bits, spec.ports)
+
+    def block_area_mm2(self, spec: MemorySpec) -> float:
+        """Silicon area of one full-size block of ``spec``."""
+        return self.macro_area_mm2(spec.block_bits, spec.ports)
+
+    # ----------------------------------------------------------- conversions
+    def dynamic_power_mw(self, accesses_per_cycle: float, energy_per_access_pj: float) -> float:
+        """Convert an access rate into mW at the model's clock frequency."""
+        return accesses_per_cycle * energy_per_access_pj * self.clock_mhz * 1e-3
+
+    def dff_power_mw(self, pixels: int, pixel_bits: int, toggles_per_cycle: float = 1.0) -> float:
+        bits = pixels * pixel_bits
+        dynamic = self.dynamic_power_mw(toggles_per_cycle * bits, self.dff_energy_per_bit_pj)
+        return dynamic + bits * self.dff_leakage_per_bit_mw
+
+    def dff_area_mm2(self, pixels: int, pixel_bits: int) -> float:
+        return pixels * pixel_bits * self.dff_area_per_bit_mm2
+
+    def pe_power_mw(self, ops_per_cycle: float) -> float:
+        return self.dynamic_power_mw(ops_per_cycle, self.pe_energy_per_op_pj) + (
+            ops_per_cycle * self.pe_leakage_per_op_mw
+        )
+
+    def pe_area_mm2(self, ops: int) -> float:
+        return ops * self.pe_area_per_op_mm2
+
+
+#: Shared default technology model used by the evaluation harness.
+DEFAULT_TECH = SramTechModel()

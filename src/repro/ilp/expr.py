@@ -1,0 +1,168 @@
+"""Linear expressions and decision variables for the ILP modeling layer."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import ILPError
+
+
+class Variable:
+    """A decision variable.
+
+    Variables are created through :meth:`repro.ilp.model.Model.add_var`; they
+    are hashable by identity and compare by identity, so they can be used as
+    dictionary keys in expressions and solutions.
+    """
+
+    __slots__ = ("name", "lb", "ub", "integer", "index")
+
+    def __init__(self, name: str, lb: float | None, ub: float | None, integer: bool, index: int):
+        self.name = name
+        self.lb = lb
+        self.ub = ub
+        self.integer = integer
+        self.index = index
+
+    # Arithmetic produces LinExpr objects.
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0}, 0.0)
+
+    def __add__(self, other) -> "LinExpr":
+        return self._expr() + other
+
+    def __radd__(self, other) -> "LinExpr":
+        return self._expr() + other
+
+    def __sub__(self, other) -> "LinExpr":
+        return self._expr() - other
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-1.0 * self._expr()) + other
+
+    def __mul__(self, coeff) -> "LinExpr":
+        return self._expr() * coeff
+
+    def __rmul__(self, coeff) -> "LinExpr":
+        return self._expr() * coeff
+
+    def __neg__(self) -> "LinExpr":
+        return self._expr() * -1.0
+
+    def __le__(self, rhs):
+        return self._expr() <= rhs
+
+    def __ge__(self, rhs):
+        return self._expr() >= rhs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "int" if self.integer else "cont"
+        return f"Variable({self.name!r}, {kind})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[Variable, float] | None = None, constant: float = 0.0):
+        self.coeffs: dict[Variable, float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    # ------------------------------------------------------------- utilities
+    @staticmethod
+    def from_terms(terms: Iterable[tuple[float, Variable]], constant: float = 0.0) -> "LinExpr":
+        expr = LinExpr(constant=constant)
+        for coeff, var in terms:
+            expr.coeffs[var] = expr.coeffs.get(var, 0.0) + float(coeff)
+        return expr
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.coeffs), self.constant)
+
+    def variables(self) -> list[Variable]:
+        return list(self.coeffs)
+
+    def coefficient(self, var: Variable) -> float:
+        return self.coeffs.get(var, 0.0)
+
+    def evaluate(self, values: Mapping[Variable, float]) -> float:
+        """Value of the expression under a variable assignment."""
+        total = self.constant
+        for var, coeff in self.coeffs.items():
+            if var not in values:
+                raise ILPError(f"No value supplied for variable {var.name!r}")
+            total += coeff * values[var]
+        return total
+
+    def is_constant(self) -> bool:
+        return all(abs(c) < 1e-12 for c in self.coeffs.values())
+
+    # ------------------------------------------------------------ arithmetic
+    def _coerce(self, other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return LinExpr({other: 1.0}, 0.0)
+        if isinstance(other, (int, float)):
+            return LinExpr({}, float(other))
+        raise ILPError(f"Cannot combine a linear expression with {other!r}")
+
+    def __add__(self, other) -> "LinExpr":
+        rhs = self._coerce(other)
+        result = self.copy()
+        for var, coeff in rhs.coeffs.items():
+            result.coeffs[var] = result.coeffs.get(var, 0.0) + coeff
+        result.constant += rhs.constant
+        return result
+
+    def __radd__(self, other) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "LinExpr":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, scalar) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            raise ILPError("Linear expressions can only be scaled by constants")
+        return LinExpr({v: c * float(scalar) for v, c in self.coeffs.items()}, self.constant * float(scalar))
+
+    def __rmul__(self, scalar) -> "LinExpr":
+        return self.__mul__(scalar)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # ----------------------------------------------------------- comparisons
+    def __le__(self, rhs):
+        from repro.ilp.model import Constraint
+
+        return Constraint.from_comparison(self, "<=", self._coerce(rhs))
+
+    def __ge__(self, rhs):
+        from repro.ilp.model import Constraint
+
+        return Constraint.from_comparison(self, ">=", self._coerce(rhs))
+
+    def eq(self, rhs):
+        """Equality constraint (method form, so ``==`` keeps Python semantics)."""
+        from repro.ilp.model import Constraint
+
+        return Constraint.from_comparison(self, "==", self._coerce(rhs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{coeff:+g}*{var.name}" for var, coeff in self.coeffs.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+def linear_sum(terms: Iterable[LinExpr | Variable | float]) -> LinExpr:
+    """Sum an iterable of expressions/variables/constants into one LinExpr."""
+    total = LinExpr()
+    for term in terms:
+        total = total + term
+    return total

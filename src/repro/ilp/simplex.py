@@ -1,0 +1,252 @@
+"""Dense two-phase primal simplex solver for LP relaxations.
+
+This is the LP engine underneath the pure-Python branch-and-bound backend.
+It solves::
+
+    min  c^T x
+    s.t. A_ub x <= b_ub
+         A_eq x == b_eq
+         lb <= x <= ub   (any bound may be infinite)
+
+The implementation converts bounded variables into shifted non-negative
+variables (splitting free variables), adds slack variables, and runs a
+two-phase simplex with Bland's anti-cycling rule.  It favours clarity over
+speed: the scheduling ILPs in this project have tens to a few hundred
+variables, well within reach of a dense tableau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+
+_EPS = 1e-9
+
+
+@dataclass
+class LPResult:
+    """Result of an LP solve."""
+
+    status: str  # 'optimal', 'infeasible', 'unbounded'
+    x: np.ndarray | None = None
+    objective: float | None = None
+    iterations: int = 0
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray | None,
+    b_ub: np.ndarray | None,
+    a_eq: np.ndarray | None,
+    b_eq: np.ndarray | None,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    max_iterations: int = 20000,
+) -> LPResult:
+    """Solve the LP described in the module docstring."""
+    c = np.asarray(c, dtype=float)
+    n = c.size
+    lb = np.asarray(lb, dtype=float)
+    ub = np.asarray(ub, dtype=float)
+    a_ub = np.zeros((0, n)) if a_ub is None else np.asarray(a_ub, dtype=float).reshape(-1, n)
+    b_ub = np.zeros(0) if b_ub is None else np.asarray(b_ub, dtype=float).ravel()
+    a_eq = np.zeros((0, n)) if a_eq is None else np.asarray(a_eq, dtype=float).reshape(-1, n)
+    b_eq = np.zeros(0) if b_eq is None else np.asarray(b_eq, dtype=float).ravel()
+    if a_ub.shape[0] != b_ub.size or a_eq.shape[0] != b_eq.size:
+        raise SolverError("Constraint matrix / RHS size mismatch")
+
+    # --- transform variables: x = x_pos - x_neg + shift so every column >= 0.
+    # For each original variable j we create:
+    #   finite lb: y_j >= 0 with x_j = y_j + lb_j     (ub becomes y_j <= ub_j - lb_j)
+    #   lb = -inf, finite ub: y_j >= 0 with x_j = ub_j - y_j
+    #   free: x_j = y_j+ - y_j-
+    col_map: list[tuple[str, int, float]] = []  # per new column: (kind, orig index, sign/shift aux)
+    shifts = np.zeros(n)
+    new_cols: list[np.ndarray] = []
+    new_c: list[float] = []
+    upper_rows: list[tuple[int, float]] = []  # (new col idx, upper bound) extra rows y_j <= u
+
+    a_all = np.vstack([a_ub, a_eq]) if (a_ub.size or a_eq.size) else np.zeros((0, n))
+
+    for j in range(n):
+        column = a_all[:, j] if a_all.size else np.zeros(0)
+        low, high = lb[j], ub[j]
+        if np.isfinite(low):
+            shifts[j] = low
+            new_cols.append(column.copy())
+            new_c.append(c[j])
+            col_map.append(("shifted", j, 1.0))
+            if np.isfinite(high):
+                upper_rows.append((len(new_cols) - 1, high - low))
+        elif np.isfinite(high):
+            # x = high - y, y >= 0
+            shifts[j] = high
+            new_cols.append(-column.copy())
+            new_c.append(-c[j])
+            col_map.append(("mirrored", j, -1.0))
+        else:
+            new_cols.append(column.copy())
+            new_c.append(c[j])
+            col_map.append(("free_pos", j, 1.0))
+            new_cols.append(-column.copy())
+            new_c.append(-c[j])
+            col_map.append(("free_neg", j, -1.0))
+
+    num_new = len(new_cols)
+    a_new = np.column_stack(new_cols) if num_new else np.zeros((a_all.shape[0], 0))
+    rhs_shift = a_all @ shifts if a_all.size else np.zeros(0)
+
+    n_ub = a_ub.shape[0]
+    rows_ub = a_new[:n_ub, :] if a_new.size else np.zeros((n_ub, num_new))
+    rows_eq = a_new[n_ub:, :] if a_new.size else np.zeros((a_eq.shape[0], num_new))
+    b_ub_new = b_ub - rhs_shift[:n_ub]
+    b_eq_new = b_eq - rhs_shift[n_ub:]
+
+    # Add the variable upper-bound rows as extra <= rows.
+    if upper_rows:
+        extra = np.zeros((len(upper_rows), num_new))
+        extra_b = np.zeros(len(upper_rows))
+        for row_idx, (col_idx, bound) in enumerate(upper_rows):
+            extra[row_idx, col_idx] = 1.0
+            extra_b[row_idx] = bound
+        rows_ub = np.vstack([rows_ub, extra]) if rows_ub.size else extra
+        b_ub_new = np.concatenate([b_ub_new, extra_b])
+
+    result = _simplex_standard(
+        np.asarray(new_c, dtype=float), rows_ub, b_ub_new, rows_eq, b_eq_new, max_iterations
+    )
+    if result.status != "optimal":
+        return result
+
+    y = result.x
+    x = np.zeros(n)
+    for col_idx, (kind, j, sign) in enumerate(col_map):
+        if kind == "shifted":
+            x[j] += y[col_idx]
+        elif kind == "mirrored":
+            x[j] -= y[col_idx]
+        elif kind == "free_pos":
+            x[j] += y[col_idx]
+        else:  # free_neg
+            x[j] -= y[col_idx]
+    x += shifts
+    return LPResult(status="optimal", x=x, objective=float(c @ x), iterations=result.iterations)
+
+
+def _simplex_standard(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    max_iterations: int,
+) -> LPResult:
+    """Two-phase simplex for ``min c^T y, A_ub y <= b_ub, A_eq y = b_eq, y >= 0``."""
+    num_vars = c.size
+    num_ub = a_ub.shape[0]
+    num_eq = a_eq.shape[0]
+    num_rows = num_ub + num_eq
+
+    if num_rows == 0:
+        # Unconstrained over y >= 0: minimised at 0 for non-negative costs.
+        if np.any(c < -_EPS):
+            return LPResult(status="unbounded")
+        return LPResult(status="optimal", x=np.zeros(num_vars), objective=0.0)
+
+    # Build rows as equalities with slack variables for the <= rows.
+    a = np.zeros((num_rows, num_vars + num_ub))
+    b = np.concatenate([b_ub, b_eq]).astype(float)
+    a[:num_ub, :num_vars] = a_ub
+    a[num_ub:, :num_vars] = a_eq
+    for i in range(num_ub):
+        a[i, num_vars + i] = 1.0
+
+    # Normalise negative RHS rows.
+    for i in range(num_rows):
+        if b[i] < 0:
+            a[i, :] *= -1.0
+            b[i] *= -1.0
+
+    total_vars = num_vars + num_ub
+    # Phase 1: add artificial variables for every row; drive their sum to 0.
+    art = np.eye(num_rows)
+    tableau_a = np.hstack([a, art])
+    basis = list(range(total_vars, total_vars + num_rows))
+    cost1 = np.zeros(total_vars + num_rows)
+    cost1[total_vars:] = 1.0
+
+    status, basis, tableau_a, b, iters1 = _primal_iterate(tableau_a, b, cost1, basis, max_iterations)
+    if status == "unbounded":
+        return LPResult(status="infeasible")
+    phase1_obj = float(cost1[basis] @ b)
+    if phase1_obj > 1e-7:
+        return LPResult(status="infeasible", iterations=iters1)
+
+    # Drive artificial variables out of the basis when possible, then drop them.
+    for row, var in enumerate(basis):
+        if var >= total_vars:
+            pivot_col = next(
+                (j for j in range(total_vars) if abs(tableau_a[row, j]) > _EPS), None
+            )
+            if pivot_col is not None:
+                _pivot(tableau_a, b, row, pivot_col)
+                basis[row] = pivot_col
+    keep = [i for i, var in enumerate(basis) if var < total_vars]
+    tableau_a = tableau_a[keep][:, :total_vars]
+    b = b[keep]
+    basis = [basis[i] for i in keep]
+
+    cost2 = np.zeros(total_vars)
+    cost2[:num_vars] = c
+    status, basis, tableau_a, b, iters2 = _primal_iterate(tableau_a, b, cost2, basis, max_iterations)
+    if status == "unbounded":
+        return LPResult(status="unbounded", iterations=iters1 + iters2)
+
+    y = np.zeros(total_vars)
+    for row, var in enumerate(basis):
+        y[var] = b[row]
+    return LPResult(
+        status="optimal",
+        x=y[:num_vars],
+        objective=float(c @ y[:num_vars]),
+        iterations=iters1 + iters2,
+    )
+
+
+def _primal_iterate(a: np.ndarray, b: np.ndarray, cost: np.ndarray, basis: list[int], max_iterations: int):
+    """Primal simplex iterations with Bland's rule.  Mutates ``a``/``b`` in place."""
+    iterations = 0
+    num_rows, num_cols = a.shape
+    while iterations < max_iterations:
+        iterations += 1
+        duals_basis = cost[basis]
+        reduced = cost - duals_basis @ a
+        # Bland's rule: smallest index with negative reduced cost.
+        entering = next((j for j in range(num_cols) if reduced[j] < -_EPS), None)
+        if entering is None:
+            return "optimal", basis, a, b, iterations
+        column = a[:, entering]
+        ratios = [
+            (b[i] / column[i], i) for i in range(num_rows) if column[i] > _EPS
+        ]
+        if not ratios:
+            return "unbounded", basis, a, b, iterations
+        min_ratio = min(r for r, _ in ratios)
+        leaving_row = min(i for r, i in ratios if abs(r - min_ratio) <= _EPS * (1 + abs(min_ratio)))
+        _pivot(a, b, leaving_row, entering)
+        basis[leaving_row] = entering
+    raise SolverError("Simplex iteration limit exceeded")
+
+
+def _pivot(a: np.ndarray, b: np.ndarray, row: int, col: int) -> None:
+    pivot_value = a[row, col]
+    a[row, :] /= pivot_value
+    b[row] /= pivot_value
+    for i in range(a.shape[0]):
+        if i != row and abs(a[i, col]) > _EPS:
+            factor = a[i, col]
+            a[i, :] -= factor * a[row, :]
+            b[i] -= factor * b[row]

@@ -1,0 +1,50 @@
+"""Solver facade: pick a backend and solve an ILP model.
+
+``backend`` may be:
+
+* ``"highs"`` — SciPy's HiGHS MILP solver (fast, default when available);
+* ``"python"`` — the pure-Python branch-and-bound over the simplex engine;
+* ``"auto"`` — HiGHS when importable, otherwise the Python backend.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InfeasibleError, SolverError, UnboundedError
+from repro.ilp import highs
+from repro.ilp.branch_and_bound import solve_branch_and_bound
+from repro.ilp.model import Model, SolveResult, SolveStatus
+
+
+def available_backends() -> list[str]:
+    """Names of the backends usable in this environment."""
+    backends = ["python"]
+    if highs.is_available():
+        backends.insert(0, "highs")
+    return backends
+
+
+def solve(model: Model, backend: str = "auto", *, raise_on_failure: bool = False) -> SolveResult:
+    """Solve ``model`` and return a :class:`SolveResult`.
+
+    With ``raise_on_failure=True``, infeasible/unbounded outcomes raise
+    :class:`InfeasibleError` / :class:`UnboundedError` instead of being
+    returned as statuses.
+    """
+    if backend == "auto":
+        backend = "highs" if highs.is_available() else "python"
+
+    if backend == "highs":
+        result = highs.solve_highs(model)
+    elif backend == "python":
+        result = solve_branch_and_bound(model)
+    else:
+        raise SolverError(f"Unknown ILP backend {backend!r}")
+
+    if raise_on_failure:
+        if result.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(f"Model {model.name!r} is infeasible ({result.message})")
+        if result.status is SolveStatus.UNBOUNDED:
+            raise UnboundedError(f"Model {model.name!r} is unbounded ({result.message})")
+        if result.status is SolveStatus.ERROR:
+            raise SolverError(f"Backend {backend!r} failed on model {model.name!r}: {result.message}")
+    return result

@@ -1,0 +1,25 @@
+"""Intermediate representation: stencil windows and the pipeline DAG."""
+
+from repro.ir.stencil import StencilWindow
+from repro.ir.dag import Stage, Edge, PipelineDAG
+from repro.ir.traversal import (
+    topological_order,
+    reachable_from,
+    ancestors_of,
+    partial_order,
+    longest_path_lengths,
+)
+from repro.ir.validate import validate_dag
+
+__all__ = [
+    "StencilWindow",
+    "Stage",
+    "Edge",
+    "PipelineDAG",
+    "topological_order",
+    "reachable_from",
+    "ancestors_of",
+    "partial_order",
+    "longest_path_lengths",
+    "validate_dag",
+]

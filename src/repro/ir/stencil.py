@@ -1,0 +1,112 @@
+"""Stencil-window geometry.
+
+A stencil window describes which neighbourhood of a producer image a consumer
+stage reads to compute one output pixel.  The ImaGen formulation only needs
+the window *height* (``SH`` in the paper), but the functional simulator and
+the RTL generator need the full 2-D extent and the offsets, so the window is
+kept as a first-class object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class StencilWindow:
+    """A rectangular stencil window expressed as pixel offsets.
+
+    The window covers rows ``min_dy .. max_dy`` and columns ``min_dx .. max_dx``
+    (inclusive) around the output coordinate.  ``height``/``width`` are the
+    quantities used throughout the scheduling math.
+    """
+
+    min_dx: int
+    max_dx: int
+    min_dy: int
+    max_dy: int
+
+    def __post_init__(self) -> None:
+        if self.max_dx < self.min_dx or self.max_dy < self.min_dy:
+            raise GraphError(
+                f"Degenerate stencil window: dx=[{self.min_dx},{self.max_dx}] "
+                f"dy=[{self.min_dy},{self.max_dy}]"
+            )
+
+    @property
+    def width(self) -> int:
+        """Number of columns covered by the window (SW)."""
+        return self.max_dx - self.min_dx + 1
+
+    @property
+    def height(self) -> int:
+        """Number of rows covered by the window (SH in the paper)."""
+        return self.max_dy - self.min_dy + 1
+
+    @property
+    def size(self) -> int:
+        """Number of pixels read per output pixel."""
+        return self.width * self.height
+
+    @classmethod
+    def from_extent(cls, width: int, height: int) -> "StencilWindow":
+        """Build a top-left anchored window of the given extent.
+
+        ``from_extent(3, 3)`` covers offsets ``dx in [0, 2]`` and ``dy in [0, 2]``.
+        """
+        if width < 1 or height < 1:
+            raise GraphError(f"Stencil extent must be positive, got {width}x{height}")
+        return cls(min_dx=0, max_dx=width - 1, min_dy=0, max_dy=height - 1)
+
+    @classmethod
+    def centered(cls, width: int, height: int) -> "StencilWindow":
+        """Build a window centered on the output pixel (odd extents recommended)."""
+        if width < 1 or height < 1:
+            raise GraphError(f"Stencil extent must be positive, got {width}x{height}")
+        half_w = (width - 1) // 2
+        half_h = (height - 1) // 2
+        return cls(
+            min_dx=-half_w,
+            max_dx=width - 1 - half_w,
+            min_dy=-half_h,
+            max_dy=height - 1 - half_h,
+        )
+
+    @classmethod
+    def point(cls) -> "StencilWindow":
+        """A 1x1 window (pointwise consumption)."""
+        return cls(0, 0, 0, 0)
+
+    def union(self, other: "StencilWindow") -> "StencilWindow":
+        """Smallest window covering both windows.
+
+        Used when a consumer references the same producer at several offsets
+        (every DSL reference contributes a point; the union is the stencil).
+        """
+        return StencilWindow(
+            min_dx=min(self.min_dx, other.min_dx),
+            max_dx=max(self.max_dx, other.max_dx),
+            min_dy=min(self.min_dy, other.min_dy),
+            max_dy=max(self.max_dy, other.max_dy),
+        )
+
+    def offsets(self) -> list[tuple[int, int]]:
+        """All (dx, dy) offsets in raster order."""
+        return [
+            (dx, dy)
+            for dy in range(self.min_dy, self.max_dy + 1)
+            for dx in range(self.min_dx, self.max_dx + 1)
+        ]
+
+    def normalized(self) -> "StencilWindow":
+        """The same extent anchored at offset (0, 0).
+
+        The scheduling formulation is invariant to the anchor; only the extent
+        matters.  Normalising makes windows comparable across DSL styles.
+        """
+        return StencilWindow.from_extent(self.width, self.height)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.width}x{self.height}"

@@ -1,0 +1,103 @@
+"""Graph traversal utilities over :class:`repro.ir.dag.PipelineDAG`.
+
+These are deliberately implemented directly (rather than converting to a
+``networkx`` graph on every call) because the scheduler invokes them in inner
+loops during constraint pruning; ``networkx`` remains available for the DSE
+and reporting layers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import GraphError
+from repro.ir.dag import PipelineDAG
+
+
+def topological_order(dag: PipelineDAG) -> list[str]:
+    """Kahn topological sort.  Raises :class:`GraphError` on cycles."""
+    in_degree = {name: len(dag.producers_of(name)) for name in dag.stage_names()}
+    queue = deque(sorted(name for name, deg in in_degree.items() if deg == 0))
+    order: list[str] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for consumer in dag.consumers_of(node):
+            in_degree[consumer] -= 1
+            if in_degree[consumer] == 0:
+                queue.append(consumer)
+    if len(order) != len(dag):
+        cyclic = sorted(name for name, deg in in_degree.items() if deg > 0)
+        raise GraphError(f"Pipeline graph contains a cycle involving {cyclic}")
+    return order
+
+
+def reachable_from(dag: PipelineDAG, source: str) -> set[str]:
+    """All stages reachable from ``source`` by following producer->consumer edges."""
+    seen: set[str] = set()
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        for consumer in dag.consumers_of(node):
+            if consumer not in seen:
+                seen.add(consumer)
+                stack.append(consumer)
+    return seen
+
+
+def ancestors_of(dag: PipelineDAG, target: str) -> set[str]:
+    """All stages from which ``target`` is reachable."""
+    seen: set[str] = set()
+    stack = [target]
+    while stack:
+        node = stack.pop()
+        for producer in dag.producers_of(node):
+            if producer not in seen:
+                seen.add(producer)
+                stack.append(producer)
+    return seen
+
+
+def partial_order(dag: PipelineDAG) -> dict[str, set[str]]:
+    """The reflexive partial order used by constraint pruning (Sec. 5.4).
+
+    Returns a mapping ``order[i]`` = set of stages ``j`` with ``i ≼ j``
+    (``j`` is ``i`` itself or depends, directly or transitively, on ``i``).
+    """
+    order: dict[str, set[str]] = {}
+    for name in dag.stage_names():
+        descendants = reachable_from(dag, name)
+        descendants.add(name)
+        order[name] = descendants
+    return order
+
+
+def precedes(order: dict[str, set[str]], i: str, j: str) -> bool:
+    """True when ``i ≼ j`` under the partial order returned by :func:`partial_order`."""
+    try:
+        return j in order[i]
+    except KeyError:
+        raise GraphError(f"Stage {i!r} not present in the partial order") from None
+
+
+def longest_path_lengths(dag: PipelineDAG, weight_fn=None) -> dict[str, int]:
+    """Longest (weighted) path from any input stage to each stage.
+
+    ``weight_fn(edge)`` gives the weight of an edge (default 1).  Used to
+    compute ASAP schedules and end-to-end pipeline latency.
+    """
+    if weight_fn is None:
+        weight_fn = lambda edge: 1  # noqa: E731 - tiny local default
+    lengths = {name: 0 for name in dag.stage_names()}
+    for node in topological_order(dag):
+        for edge in dag.out_edges(node):
+            candidate = lengths[node] + weight_fn(edge)
+            if candidate > lengths[edge.consumer]:
+                lengths[edge.consumer] = candidate
+    return lengths
+
+
+def pipeline_depth(dag: PipelineDAG) -> int:
+    """Number of stages on the longest input->output chain."""
+    lengths = longest_path_lengths(dag)
+    return max(lengths.values(), default=0) + 1 if len(dag) else 0

@@ -1,0 +1,74 @@
+"""Structural validation of pipeline DAGs.
+
+The optimizer, baselines, simulators and RTL generator all assume a
+well-formed graph; validation centralises those assumptions so errors are
+reported at the front-end boundary rather than as obscure failures later.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.ir.dag import PipelineDAG
+from repro.ir.traversal import ancestors_of, topological_order
+
+
+def validate_dag(dag: PipelineDAG) -> None:
+    """Raise :class:`GraphError` if the pipeline graph is not a usable pipeline.
+
+    Checks performed:
+
+    * the graph is non-empty and acyclic;
+    * there is at least one input stage and at least one output stage;
+    * input stages have no on-chip producers;
+    * every non-input stage has at least one producer;
+    * every stage can reach some output stage (no dead stages) unless it *is*
+      an output stage;
+    * every non-input stage is reachable from some input stage;
+    * stencil windows are positive (guaranteed by construction, re-checked here).
+    """
+    if len(dag) == 0:
+        raise GraphError("Pipeline has no stages")
+
+    topological_order(dag)  # raises on cycles
+
+    inputs = dag.input_stages()
+    outputs = dag.output_stages()
+    if not inputs:
+        raise GraphError("Pipeline has no input stage")
+    if not outputs:
+        raise GraphError("Pipeline has no output stage")
+
+    for stage in inputs:
+        if dag.producers_of(stage.name):
+            raise GraphError(f"Input stage {stage.name!r} must not have on-chip producers")
+
+    for stage in dag.stages():
+        if not stage.is_input and not dag.producers_of(stage.name):
+            raise GraphError(
+                f"Stage {stage.name!r} has no producers and is not marked as an input"
+            )
+
+    # Reachability: collect ancestors of all outputs and descendants of inputs.
+    feeds_output: set[str] = set()
+    for out in outputs:
+        feeds_output.add(out.name)
+        feeds_output |= ancestors_of(dag, out.name)
+    for stage in dag.stages():
+        if stage.name not in feeds_output:
+            raise GraphError(f"Stage {stage.name!r} does not feed any output stage")
+
+    fed_by_input: set[str] = set()
+    for inp in inputs:
+        fed_by_input.add(inp.name)
+        from repro.ir.traversal import reachable_from
+
+        fed_by_input |= reachable_from(dag, inp.name)
+    for stage in dag.stages():
+        if stage.name not in fed_by_input:
+            raise GraphError(f"Stage {stage.name!r} is not reachable from any input stage")
+
+    for edge in dag.edges():
+        if edge.window.height < 1 or edge.window.width < 1:
+            raise GraphError(
+                f"Edge {edge.producer!r}->{edge.consumer!r} has a degenerate stencil window"
+            )

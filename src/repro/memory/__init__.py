@@ -1,0 +1,32 @@
+"""On-chip memory specifications, line-buffer configurations and allocation."""
+
+from repro.memory.spec import (
+    MemorySpec,
+    FpgaSpec,
+    asic_dual_port,
+    asic_single_port,
+    asic_fifo,
+    spartan7_fpga,
+)
+from repro.memory.linebuffer import LineBufferConfig, BlockAssignment
+from repro.memory.allocator import (
+    allocate_line_buffer,
+    allocate_fifo_buffer,
+    allocate_register_buffer,
+    dff_realization_threshold,
+)
+
+__all__ = [
+    "allocate_register_buffer",
+    "dff_realization_threshold",
+    "MemorySpec",
+    "FpgaSpec",
+    "asic_dual_port",
+    "asic_single_port",
+    "asic_fifo",
+    "spartan7_fpga",
+    "LineBufferConfig",
+    "BlockAssignment",
+    "allocate_line_buffer",
+    "allocate_fifo_buffer",
+]

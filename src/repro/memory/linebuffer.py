@@ -1,0 +1,83 @@
+"""Line-buffer configuration records.
+
+A :class:`LineBufferConfig` is the physical realisation of one producer
+stage's intermediate buffer: how many line slots it stores, how those lines
+are packed into memory blocks, and how it is accessed.  It is produced by the
+allocator from a schedule, and consumed by the area/power estimators, the
+cycle simulator and the RTL generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.spec import MemorySpec
+
+
+@dataclass(frozen=True)
+class BlockAssignment:
+    """One physical memory block and the line slots (and segments) it holds."""
+
+    index: int
+    line_slots: tuple[int, ...]
+    segment: int = 0  # when one line spans several blocks, its segment number
+    used_bits: int = 0
+
+    @property
+    def num_lines(self) -> int:
+        return len(self.line_slots)
+
+
+@dataclass
+class LineBufferConfig:
+    """Physical configuration of the line buffer after one producer stage."""
+
+    producer: str
+    image_width: int
+    lines: int
+    spec: MemorySpec
+    coalesce_factor: int = 1
+    #: "sram" (classic / ImaGen), "fifo" (SODA), or "registers" (sub-line DFF buffer).
+    style: str = "sram"
+    blocks: list[BlockAssignment] = field(default_factory=list)
+    #: pixels kept in DFF shift registers rather than SRAM (SODA's last line).
+    dff_pixels: int = 0
+    #: number of parallel FIFO chains (SODA splits per extra consumer).
+    fifo_chains: int = 1
+    #: per-accessor stencil heights (writer excluded), for access accounting.
+    reader_heights: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- capacities
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def pixel_capacity(self) -> int:
+        """Pixels of storage actually required (line slots x width)."""
+        return self.lines * self.image_width
+
+    @property
+    def data_bits(self) -> int:
+        """Bits of payload stored in SRAM (excludes DFF pixels)."""
+        return self.pixel_capacity * self.spec.pixel_bits
+
+    @property
+    def allocated_bits(self) -> int:
+        """Bits of SRAM capacity claimed (block-granular allocation)."""
+        return self.num_blocks * self.spec.block_bits
+
+    @property
+    def allocated_kbytes(self) -> float:
+        return self.allocated_bits / 8192.0
+
+    @property
+    def data_kbytes(self) -> float:
+        return self.data_bits / 8192.0
+
+    def summary(self) -> str:
+        return (
+            f"LB[{self.producer}]: {self.lines} lines x {self.image_width}px, "
+            f"{self.num_blocks} block(s) ({self.spec.name}), coalesce={self.coalesce_factor}, "
+            f"style={self.style}"
+        )

@@ -1,0 +1,175 @@
+"""On-chip memory resource specifications.
+
+The framework's inputs are an algorithm description *and* a description of the
+memory structures available (Sec. 4).  A :class:`MemorySpec` captures one kind
+of block: its capacity, its number of ports, and the pixel width stored in it.
+
+Two concrete families are provided:
+
+* ASIC SRAM macros (OpenRAM-style, arbitrary count, parameterised size/ports);
+* the Xilinx Spartan-7 BRAM used in the paper's FPGA evaluation
+  (36 Kbit blocks, configurable as single or dual port, 120 blocks total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import MemoryConfigError
+
+#: Default pixel width in bits.  The evaluation pipelines carry intermediate
+#: values wider than 8 bits (gradients, products), so 16 bits is the default.
+DEFAULT_PIXEL_BITS = 16
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Description of one kind of on-chip memory block.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in reports.
+    block_bits:
+        Capacity of one physical block, in bits.
+    ports:
+        Number of independent access ports per block (1 or 2 in practice).
+    pixel_bits:
+        Width of one stored pixel, in bits.
+    style:
+        ``"sram"`` for addressable line-buffer blocks (Darkroom/FixyNN/ImaGen
+        style) or ``"fifo"`` for FIFO-only usage (SODA style).
+    allow_coalescing:
+        Whether the optimizer may place multiple image lines in one block
+        (Sec. 6).  FIFO and single-port styles cannot coalesce.
+    """
+
+    name: str
+    block_bits: int
+    ports: int
+    pixel_bits: int = DEFAULT_PIXEL_BITS
+    style: str = "sram"
+    allow_coalescing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.block_bits <= 0:
+            raise MemoryConfigError(f"block_bits must be positive, got {self.block_bits}")
+        if self.ports < 1:
+            raise MemoryConfigError(f"A memory block needs at least one port, got {self.ports}")
+        if self.pixel_bits <= 0:
+            raise MemoryConfigError(f"pixel_bits must be positive, got {self.pixel_bits}")
+        if self.style not in ("sram", "fifo"):
+            raise MemoryConfigError(f"Unknown memory style {self.style!r}")
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def block_bytes(self) -> float:
+        return self.block_bits / 8.0
+
+    @property
+    def block_kbytes(self) -> float:
+        return self.block_bits / 8192.0
+
+    def line_bits(self, image_width: int) -> int:
+        """Bits needed to store one image line."""
+        return image_width * self.pixel_bits
+
+    def lines_per_block(self, image_width: int) -> int:
+        """How many whole image lines fit in one block (may be zero)."""
+        return self.block_bits // self.line_bits(image_width)
+
+    def blocks_per_line(self, image_width: int) -> int:
+        """How many blocks are needed to store one image line (>= 1)."""
+        line_bits = self.line_bits(image_width)
+        return max(1, -(-line_bits // self.block_bits))
+
+    def coalescing_factor(self, image_width: int) -> int:
+        """Maximum lines that may legally share one block (Sec. 6).
+
+        Bounded by the block capacity and by the port count, and disabled for
+        FIFO-style or single-port memories (the paper notes coalescing is
+        fundamentally incompatible with both).
+        """
+        if not self.allow_coalescing or self.style == "fifo" or self.ports < 2:
+            return 1
+        return max(1, min(self.ports, self.lines_per_block(image_width)))
+
+    def with_ports(self, ports: int) -> "MemorySpec":
+        return replace(self, ports=ports, name=f"{self.name}-{ports}p")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.block_bits}b, {self.ports}p, {self.style})"
+
+
+@dataclass(frozen=True)
+class FpgaSpec:
+    """An FPGA memory budget: a BRAM block spec plus the number of blocks."""
+
+    bram: MemorySpec
+    total_blocks: int
+    static_power_mw: float = 35.0
+
+    def __post_init__(self) -> None:
+        if self.total_blocks <= 0:
+            raise MemoryConfigError("FPGA must provide at least one BRAM block")
+
+
+# ---------------------------------------------------------------------------
+# Presets used throughout the evaluation
+# ---------------------------------------------------------------------------
+def asic_dual_port(block_kbits: int = 32, pixel_bits: int = DEFAULT_PIXEL_BITS) -> MemorySpec:
+    """ASIC dual-port SRAM macros (the paper's default line-buffer memory).
+
+    The default 32 Kbit block holds two or more 480-pixel (320p) lines but
+    fewer than two 1920-pixel (1080p) lines at 16-bit pixels, reproducing the
+    paper's "coalescing applies to 320p but not to 1080p" setup.
+    """
+    return MemorySpec(
+        name="asic-dp",
+        block_bits=block_kbits * 1024,
+        ports=2,
+        pixel_bits=pixel_bits,
+        style="sram",
+        allow_coalescing=True,
+    )
+
+
+def asic_single_port(block_kbits: int = 32, pixel_bits: int = DEFAULT_PIXEL_BITS) -> MemorySpec:
+    """ASIC single-port SRAM macros (the FixyNN assumption)."""
+    return MemorySpec(
+        name="asic-sp",
+        block_bits=block_kbits * 1024,
+        ports=1,
+        pixel_bits=pixel_bits,
+        style="sram",
+        allow_coalescing=False,
+    )
+
+
+def asic_fifo(block_kbits: int = 32, pixel_bits: int = DEFAULT_PIXEL_BITS) -> MemorySpec:
+    """Dual-port SRAM used strictly as FIFOs (the SODA assumption)."""
+    return MemorySpec(
+        name="asic-fifo",
+        block_bits=block_kbits * 1024,
+        ports=2,
+        pixel_bits=pixel_bits,
+        style="fifo",
+        allow_coalescing=False,
+    )
+
+
+def spartan7_bram(ports: int = 2, pixel_bits: int = DEFAULT_PIXEL_BITS) -> MemorySpec:
+    """One Xilinx Spartan-7 BRAM block (36 Kbit, single- or dual-port)."""
+    return MemorySpec(
+        name="spartan7-bram",
+        block_bits=36 * 1024,
+        ports=ports,
+        pixel_bits=pixel_bits,
+        style="sram",
+        allow_coalescing=ports >= 2,
+    )
+
+
+def spartan7_fpga(ports: int = 2, pixel_bits: int = DEFAULT_PIXEL_BITS) -> FpgaSpec:
+    """The xa7s100 board used in the paper: 120 BRAM blocks of 36 Kbit."""
+    return FpgaSpec(bram=spartan7_bram(ports, pixel_bits), total_blocks=120)

@@ -1,0 +1,6 @@
+"""Synthesizable Verilog generation and structural linting."""
+
+from repro.rtl.generator import generate_verilog, VerilogDesign
+from repro.rtl.lint import lint_verilog, LintReport
+
+__all__ = ["generate_verilog", "VerilogDesign", "lint_verilog", "LintReport"]

@@ -1,0 +1,219 @@
+"""Top-level Verilog generation for a scheduled pipeline.
+
+:func:`generate_verilog` emits one self-contained Verilog source containing:
+
+* the behavioral SRAM macro model,
+* one line-buffer module per producer,
+* one window (shift-register array) module per producer->consumer edge,
+* one compute module per stage,
+* a top-level module whose controller starts each stage at the start cycle
+  chosen by the optimizer and steps every stage in raster order.
+
+The output is accompanied by a :class:`VerilogDesign` summary (module names,
+line counts) used by reports and tests; structural consistency is checked by
+:mod:`repro.rtl.lint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import PipelineSchedule
+from repro.rtl import modules
+from repro.rtl.expressions import sanitize
+
+
+@dataclass
+class VerilogDesign:
+    """Summary of a generated Verilog design."""
+
+    top_module: str
+    source: str
+    module_names: list[str] = field(default_factory=list)
+
+    @property
+    def line_count(self) -> int:
+        return self.source.count("\n") + 1
+
+
+def generate_verilog(schedule: PipelineSchedule) -> str:
+    """Emit the full Verilog source for ``schedule``."""
+    return generate_design(schedule).source
+
+
+def generate_design(schedule: PipelineSchedule) -> VerilogDesign:
+    """Emit Verilog and return it with its module inventory."""
+    dag = schedule.dag
+    pixel_bits = schedule.memory_spec.pixel_bits
+    chunks: list[str] = [modules.emit_header(schedule)]
+    module_names: list[str] = []
+
+    chunks.append(modules.emit_sram_model(schedule.memory_spec.ports))
+    module_names.append("imagen_sram")
+
+    for producer, config in schedule.line_buffers.items():
+        readers = dag.out_edges(producer)
+        chunks.append(modules.emit_line_buffer(config, readers))
+        module_names.append(modules.line_buffer_module_name(producer))
+
+    for edge in dag.edges():
+        chunks.append(modules.emit_window(edge, pixel_bits))
+        module_names.append(modules.window_module_name(edge.producer, edge.consumer))
+
+    for stage in dag.stages():
+        if stage.is_input:
+            continue
+        chunks.append(modules.emit_stage(stage, dag.in_edges(stage.name), pixel_bits))
+        module_names.append(modules.stage_module_name(stage.name))
+
+    top_name = f"accelerator_{sanitize(dag.name)}"
+    chunks.append(_emit_top(schedule, top_name, pixel_bits))
+    module_names.append(top_name)
+
+    return VerilogDesign(top_module=top_name, source="\n".join(chunks), module_names=module_names)
+
+
+def _emit_top(schedule: PipelineSchedule, top_name: str, pixel_bits: int) -> str:
+    dag = schedule.dag
+    width = schedule.image_width
+    total_cycles = schedule.end_to_end_latency_cycles
+
+    lines = [
+        f"module {top_name} (",
+        "    input  wire                   clk,",
+        "    input  wire                   rst,",
+        "    input  wire                   start,",
+        f"    input  wire [{pixel_bits-1}:0] pixel_in,",
+        f"    output wire [{pixel_bits-1}:0] pixel_out,",
+        "    output wire                   pixel_valid,",
+        "    output reg                    frame_done",
+        ");",
+        f"    // Global cycle counter; stage K starts when cycle == S_K (the ILP schedule).",
+        "    reg [31:0] cycle;",
+        "    reg running;",
+        "    always @(posedge clk) begin",
+        "        if (rst) begin",
+        "            cycle <= 32'd0;",
+        "            running <= 1'b0;",
+        "            frame_done <= 1'b0;",
+        "        end else if (start && !running) begin",
+        "            cycle <= 32'd0;",
+        "            running <= 1'b1;",
+        "            frame_done <= 1'b0;",
+        "        end else if (running) begin",
+        "            cycle <= cycle + 32'd1;",
+        f"            if (cycle >= 32'd{total_cycles}) begin",
+        "                running <= 1'b0;",
+        "                frame_done <= 1'b1;",
+        "            end",
+        "        end",
+        "    end",
+        "",
+    ]
+
+    # Per-stage activation signals and raster counters.
+    for stage in dag.stages():
+        name = sanitize(stage.name)
+        start_cycle = schedule.start(stage.name)
+        lines.extend(
+            [
+                f"    wire active_{name} = running && (cycle >= 32'd{start_cycle});",
+                f"    reg [31:0] pos_{name};",
+                f"    always @(posedge clk) begin",
+                f"        if (rst || !running) pos_{name} <= 32'd0;",
+                f"        else if (active_{name}) pos_{name} <= pos_{name} + 32'd1;",
+                "    end",
+                f"    wire [31:0] col_{name} = pos_{name} % 32'd{width};",
+                f"    wire [31:0] line_{name} = pos_{name} / 32'd{width};",
+                f"    wire [{pixel_bits-1}:0] pixel_{name};",
+                f"    wire valid_{name};",
+                "",
+            ]
+        )
+
+    # Input stages forward the external pixel stream.
+    for stage in dag.input_stages():
+        name = sanitize(stage.name)
+        lines.append(f"    assign pixel_{name} = pixel_in;")
+        lines.append(f"    assign valid_{name} = active_{name};")
+        lines.append("")
+
+    # Line buffers and window register arrays.
+    for producer, config in schedule.line_buffers.items():
+        producer_id = sanitize(producer)
+        buffer_module = modules.line_buffer_module_name(producer)
+        buffer_lines = max(1, config.lines)
+        connections = [
+            "        .clk(clk),",
+            "        .rst(rst),",
+            f"        .wr_en(active_{producer_id}),",
+            f"        .wr_col(col_{producer_id}[{modules._addr_bits(width)-1}:0]),",
+            f"        .wr_line(line_{producer_id}[{modules._addr_bits(buffer_lines)-1}:0] % {buffer_lines}),",
+            f"        .wr_data(pixel_{producer_id}),",
+        ]
+        for edge in dag.out_edges(producer):
+            consumer_id = sanitize(edge.consumer)
+            height = edge.window.height
+            lines.append(
+                f"    wire [{height * pixel_bits - 1}:0] column_{producer_id}_{consumer_id};"
+            )
+            connections.extend(
+                [
+                    f"        .rd_en_{consumer_id}(active_{consumer_id}),",
+                    f"        .rd_col_{consumer_id}(col_{consumer_id}[{modules._addr_bits(width)-1}:0]),",
+                    f"        .rd_line_{consumer_id}(line_{consumer_id}[{modules._addr_bits(buffer_lines)-1}:0] % {buffer_lines}),",
+                    f"        .rd_column_{consumer_id}(column_{producer_id}_{consumer_id}),",
+                ]
+            )
+        connections[-1] = connections[-1].rstrip(",")
+        lines.append(f"    {buffer_module} u_lb_{producer_id} (")
+        lines.extend(connections)
+        lines.append("    );")
+        lines.append("")
+
+    for edge in dag.edges():
+        producer_id = sanitize(edge.producer)
+        consumer_id = sanitize(edge.consumer)
+        window_module = modules.window_module_name(edge.producer, edge.consumer)
+        size = edge.window.height * edge.window.width * pixel_bits
+        lines.extend(
+            [
+                f"    wire [{size - 1}:0] window_{producer_id}_{consumer_id};",
+                f"    {window_module} u_win_{producer_id}_{consumer_id} (",
+                "        .clk(clk),",
+                f"        .shift(active_{consumer_id}),",
+                f"        .column_in(column_{producer_id}_{consumer_id}),",
+                f"        .window_out(window_{producer_id}_{consumer_id})",
+                "    );",
+                "",
+            ]
+        )
+
+    for stage in dag.stages():
+        if stage.is_input:
+            continue
+        name = sanitize(stage.name)
+        stage_module = modules.stage_module_name(stage.name)
+        connections = ["        .clk(clk),", f"        .enable(active_{name}),"]
+        for edge in dag.in_edges(stage.name):
+            producer_id = sanitize(edge.producer)
+            connections.append(
+                f"        .window_{producer_id}(window_{producer_id}_{name}),"
+            )
+        connections.append(f"        .pixel_out(pixel_{name}),")
+        connections.append(f"        .valid_out(valid_{name})")
+        lines.append(f"    {stage_module} u_stage_{name} (")
+        lines.extend(connections)
+        lines.append("    );")
+        lines.append("")
+
+    output_stage = sanitize(dag.output_stages()[0].name)
+    lines.extend(
+        [
+            f"    assign pixel_out = pixel_{output_stage};",
+            f"    assign pixel_valid = valid_{output_stage};",
+            "endmodule",
+            "",
+        ]
+    )
+    return "\n".join(lines)

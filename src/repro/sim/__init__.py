@@ -1,0 +1,12 @@
+"""Simulators: cycle-level line-buffer legality/accounting and functional execution."""
+
+from repro.sim.cycle import SimulationReport, BufferStats, simulate_schedule
+from repro.sim.functional import run_functional, FunctionalResult
+
+__all__ = [
+    "SimulationReport",
+    "BufferStats",
+    "simulate_schedule",
+    "run_functional",
+    "FunctionalResult",
+]

@@ -1,0 +1,223 @@
+"""Cycle-level simulator for line-buffered pipeline schedules.
+
+The simulator plays the role of the paper's "cycle-level simulator" (Sec. 7):
+it walks the schedule cycle by cycle, tracks which physical line-buffer
+blocks every stage touches, and
+
+* verifies the three no-stall requirements of Sec. 5.1 —
+  R1 (causality), R2 (no premature eviction), R3 (no port over-subscription);
+* counts memory accesses per block, which the power model combines with
+  per-access energies;
+* measures the steady-state throughput (pixels per cycle) of the output
+  stage.
+
+Timing convention (element granularity)
+---------------------------------------
+A stage with start cycle ``S`` processes pixel ``n = t - S`` at cycle ``t``:
+row ``n // W``, column ``n % W``.  A consumer reading an ``SH``-line window
+reads one pixel from each of the ``SH`` lines ``row .. row + SH - 1`` of its
+producer's buffer each cycle.  Reads from several consumers that target the
+same (line, column) address are served by one physical access (broadcast),
+which is what makes Darkroom's pattern-identical relay reads free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import PipelineSchedule
+from repro.errors import SimulationError
+
+
+@dataclass
+class BufferStats:
+    """Access accounting for one producer's line buffer."""
+
+    producer: str
+    writes: int = 0
+    reads: int = 0
+    peak_block_accesses: int = 0
+    accesses_per_block: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_accesses(self) -> int:
+        return self.writes + self.reads
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of a cycle-level simulation."""
+
+    schedule: PipelineSchedule
+    cycles_simulated: int
+    rows_simulated: int
+    output_pixels: int
+    steady_state_throughput: float
+    buffer_stats: dict[str, BufferStats]
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_reads(self) -> int:
+        return sum(stats.reads for stats in self.buffer_stats.values())
+
+    @property
+    def total_writes(self) -> int:
+        return sum(stats.writes for stats in self.buffer_stats.values())
+
+
+def simulate_schedule(
+    schedule: PipelineSchedule,
+    *,
+    max_rows: int | None = None,
+    extra_cycles: int | None = None,
+    raise_on_violation: bool = False,
+    max_violations: int = 16,
+) -> SimulationReport:
+    """Simulate ``schedule`` and return access statistics plus any violations.
+
+    ``max_rows`` bounds the number of image rows processed (the default covers
+    the pipeline's ramp-up plus a few steady-state rows, which exercises every
+    relative access phase).  ``raise_on_violation`` raises
+    :class:`SimulationError` on the first violation instead of collecting them.
+    """
+    width = schedule.image_width
+    dag = schedule.dag
+    starts = schedule.start_cycles
+    max_start = max(starts.values())
+
+    rows_needed = max_start // width + 1 + _max_stencil_height(schedule) + 3
+    rows = min(schedule.image_height, rows_needed if max_rows is None else max(max_rows, 1))
+    rows = min(rows, schedule.image_height)
+    frame_pixels = width * rows
+
+    end_cycle = max_start + frame_pixels
+    if extra_cycles is not None:
+        end_cycle = min(end_cycle, max_start + extra_cycles)
+
+    buffer_stats = {name: BufferStats(producer=name) for name in schedule.line_buffers}
+    violations: list[str] = []
+
+    # Pre-compute, per buffer, its readers and their stencil heights.
+    readers: dict[str, list[tuple[str, int]]] = {}
+    for producer, config in schedule.line_buffers.items():
+        readers[producer] = [
+            (edge.consumer, edge.window.height) for edge in dag.out_edges(producer)
+        ]
+
+    output_stage = dag.output_stages()[0].name
+    output_start = starts[output_stage]
+    output_pixels = 0
+
+    def record(message: str) -> None:
+        if raise_on_violation:
+            raise SimulationError(message)
+        if len(violations) < max_violations:
+            violations.append(message)
+
+    for t in range(end_cycle):
+        if t >= output_start and t - output_start < frame_pixels:
+            output_pixels += 1
+        for producer, config in schedule.line_buffers.items():
+            if config.lines == 0:
+                # Sub-line DFF buffers have no SRAM blocks and cannot stall.
+                continue
+            stats = buffer_stats[producer]
+            lines = config.lines
+            factor = max(1, config.coalesce_factor)
+            writer_start = starts[producer]
+
+            accesses: dict[int, set[tuple[int, int]]] = {}
+
+            # Writer access.
+            writer_line = None
+            if writer_start <= t < writer_start + frame_pixels:
+                n = t - writer_start
+                writer_line = n // width
+                writer_col = n % width
+                stats.writes += 1
+                if config.style != "fifo":
+                    slot = writer_line % lines
+                    block = slot // factor
+                    accesses.setdefault(block, set()).add((writer_line, writer_col))
+                    # R2: the slot being overwritten must no longer be needed.
+                    old_line = writer_line - lines
+                    if old_line >= 0:
+                        for consumer, height in readers[producer]:
+                            last_needed_cycle = starts[consumer] + old_line * width + writer_col
+                            first_row_reading = old_line - height + 1
+                            if first_row_reading >= rows:
+                                continue
+                            if last_needed_cycle >= t:
+                                record(
+                                    f"R2 violation at cycle {t}: {producer} overwrites line "
+                                    f"{old_line} col {writer_col} still needed by {consumer}"
+                                )
+
+            # Reader accesses.
+            if config.style == "fifo":
+                # A FIFO chain pops and pushes every block every active cycle.
+                if writer_start <= t < writer_start + frame_pixels:
+                    stats.reads += config.num_blocks
+                    stats.writes += max(0, config.num_blocks - 1)
+                continue
+
+            read_addresses: set[tuple[int, int]] = set()
+            for consumer, height in readers[producer]:
+                consumer_start = starts[consumer]
+                if not (consumer_start <= t < consumer_start + frame_pixels):
+                    continue
+                n = t - consumer_start
+                row = n // width
+                col = n % width
+                for k in range(height):
+                    line = row + k
+                    if line >= rows:
+                        continue
+                    # R1: the pixel must already have been produced.
+                    produced_at = writer_start + line * width + col
+                    if produced_at >= t:
+                        record(
+                            f"R1 violation at cycle {t}: {consumer} reads ({line},{col}) of "
+                            f"{producer} which is produced at cycle {produced_at}"
+                        )
+                    read_addresses.add((line, col))
+
+            stats.reads += len(read_addresses)
+            for line, col in read_addresses:
+                slot = line % lines
+                block = slot // factor
+                accesses.setdefault(block, set()).add((line, col))
+
+            # R3: accesses per block per cycle must not exceed the port count.
+            ports = config.spec.ports
+            for block, addresses in accesses.items():
+                count = len(addresses)
+                stats.accesses_per_block[block] = stats.accesses_per_block.get(block, 0) + count
+                if count > stats.peak_block_accesses:
+                    stats.peak_block_accesses = count
+                if count > ports:
+                    record(
+                        f"R3 violation at cycle {t}: block {block} of LB[{producer}] receives "
+                        f"{count} accesses but has {ports} port(s)"
+                    )
+
+    steady_cycles = max(1, end_cycle - output_start)
+    throughput = min(1.0, output_pixels / steady_cycles)
+    return SimulationReport(
+        schedule=schedule,
+        cycles_simulated=end_cycle,
+        rows_simulated=rows,
+        output_pixels=output_pixels,
+        steady_state_throughput=throughput,
+        buffer_stats=buffer_stats,
+        violations=violations,
+    )
+
+
+def _max_stencil_height(schedule: PipelineSchedule) -> int:
+    heights = [edge.window.height for edge in schedule.dag.edges()]
+    return max(heights) if heights else 1

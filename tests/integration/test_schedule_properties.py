@@ -1,0 +1,93 @@
+"""Integration checks of schedule-level invariants the paper relies on."""
+
+import pytest
+
+from repro.algorithms import ALGORITHM_NAMES, build_algorithm, build_synthetic_pipeline
+from repro.baselines import generate_baseline
+from repro.core.compiler import compile_pipeline
+from repro.core.constraints import data_dependency_constraints
+from repro.core.scheduler import SchedulerOptions, schedule_pipeline
+from repro.memory.spec import asic_dual_port
+
+W, H = 64, 48
+
+
+class TestScheduleInvariants:
+    @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+    def test_data_dependencies_satisfied(self, algorithm):
+        dag = build_algorithm(algorithm)
+        schedule = compile_pipeline(dag, image_width=W, image_height=H).schedule
+        for dep in data_dependency_constraints(dag, W):
+            assert schedule.delay(dep.producer, dep.consumer) >= dep.min_delay
+
+    @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+    def test_input_stages_start_at_zero(self, algorithm):
+        dag = build_algorithm(algorithm)
+        schedule = compile_pipeline(dag, image_width=W, image_height=H).schedule
+        for stage in dag.input_stages():
+            assert schedule.start(stage.name) == 0
+
+    @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+    def test_every_producer_has_a_buffer_record(self, algorithm):
+        dag = build_algorithm(algorithm)
+        schedule = compile_pipeline(dag, image_width=W, image_height=H).schedule
+        for producer in dag.stage_names():
+            if dag.consumers_of(producer):
+                assert producer in schedule.line_buffers
+            else:
+                assert producer not in schedule.line_buffers
+
+    @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+    def test_latency_close_to_baselines(self, algorithm):
+        """Sec. 8.1: the memory savings come with essentially no latency cost."""
+        dag = build_algorithm(algorithm)
+        ours = compile_pipeline(dag, image_width=480, image_height=320).schedule
+        darkroom = generate_baseline("darkroom", dag, 480, 320)
+        ratio = ours.end_to_end_latency_cycles / darkroom.end_to_end_latency_cycles
+        # ImaGen is never slower than Darkroom and stays within a few percent.
+        assert ratio <= 1.001
+        assert ratio >= 0.9
+
+    def test_imagen_uses_less_sram_than_darkroom_in_aggregate(self):
+        ours_total = 0
+        darkroom_total = 0
+        for algorithm in ALGORITHM_NAMES:
+            dag = build_algorithm(algorithm)
+            ours_total += compile_pipeline(
+                dag, image_width=W, image_height=H
+            ).schedule.total_allocated_bits
+            darkroom_total += generate_baseline("darkroom", dag, W, H).total_allocated_bits
+        assert ours_total < darkroom_total
+
+    def test_objective_matches_sum_of_max_delays(self):
+        dag = build_algorithm("unsharp-m")
+        schedule = compile_pipeline(dag, image_width=W, image_height=H).schedule
+        objective = schedule.solver_stats["objective"]
+        total = sum(
+            schedule.max_delay(p) for p in dag.stage_names() if dag.consumers_of(p)
+        )
+        assert objective == pytest.approx(total)
+
+
+class TestScalability:
+    @pytest.mark.parametrize("stages", [9, 15, 24])
+    def test_synthetic_pipelines_schedule(self, stages):
+        dag = build_synthetic_pipeline(stages)
+        schedule = schedule_pipeline(dag, W, H, asic_dual_port())
+        assert len(schedule.start_cycles) == stages
+        assert schedule.solver_stats["compile_seconds"] < 30
+
+    def test_compile_time_grows_moderately(self):
+        small = schedule_pipeline(build_synthetic_pipeline(9), W, H, asic_dual_port())
+        large = schedule_pipeline(build_synthetic_pipeline(30), W, H, asic_dual_port())
+        assert large.solver_stats["ilp_variables"] > small.solver_stats["ilp_variables"]
+
+    def test_pruning_reduces_candidates_on_synthetic_pipelines(self):
+        dag = build_synthetic_pipeline(18)
+        pruned = schedule_pipeline(dag, W, H, asic_dual_port(), SchedulerOptions(pruning=True))
+        raw = schedule_pipeline(dag, W, H, asic_dual_port(), SchedulerOptions(pruning=False))
+        assert (
+            pruned.solver_stats["pruned_contention_candidates"]
+            <= raw.solver_stats["pruned_contention_candidates"]
+        )
+        assert pruned.solver_stats["objective"] == pytest.approx(raw.solver_stats["objective"])

@@ -1,0 +1,65 @@
+"""Property-based tests for access-set arithmetic and buffer sizing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.access import (
+    access_set,
+    minimal_slot_count,
+    required_line_slots,
+    separation_requirement,
+    sets_disjoint,
+)
+
+widths = st.integers(8, 256)
+heights = st.integers(1, 8)
+
+
+class TestSeparationProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(widths, heights, st.integers(0, 3000), st.integers(0, 4 * 256))
+    def test_separation_gap_guarantees_disjoint_sets(self, width, height, t_offset, extra):
+        """Eq. 12: a gap of SH*W (or more) keeps the trailing stage's lines
+        strictly behind the leading stage's lines at every cycle."""
+        gap = separation_requirement(height, width) + extra
+        leading_start = 0
+        trailing_start = gap
+        t = trailing_start + t_offset
+        assert sets_disjoint(t, trailing_start, height, leading_start, 1, width)
+
+    @settings(max_examples=200, deadline=None)
+    @given(widths, st.integers(2, 8))
+    def test_gap_one_line_short_eventually_conflicts(self, width, height):
+        gap = separation_requirement(height, width) - width
+        conflict = any(
+            not sets_disjoint(t, gap, height, 0, 1, width) for t in range(gap, gap + 3 * width)
+        )
+        assert conflict
+
+    @settings(max_examples=200, deadline=None)
+    @given(widths, heights, st.integers(0, 5000), st.integers(0, 5000))
+    def test_access_set_size_is_stencil_height(self, width, height, start, offset):
+        lines = access_set(start + offset, start, width, height)
+        assert len(lines) == height
+        assert lines.start >= 0
+
+
+class TestSizingProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(widths, st.integers(0, 5000), st.integers(0, 500))
+    def test_required_slots_monotonic_in_delay(self, width, delay, extra):
+        assert required_line_slots(delay + extra, width) >= required_line_slots(delay, width)
+
+    @settings(max_examples=200, deadline=None)
+    @given(widths, st.integers(1, 5000))
+    def test_required_slots_cover_the_delay(self, width, delay):
+        slots = required_line_slots(delay, width)
+        assert slots * width >= delay
+        assert (slots - 1) * width <= delay
+
+    @settings(max_examples=100, deadline=None)
+    @given(widths, st.integers(1, 2), st.integers(1, 6))
+    def test_minimal_slot_count_at_least_capacity(self, width, ports, height):
+        delay = separation_requirement(height, width)
+        slots = minimal_slot_count(width, ports, [(delay, height)])
+        assert slots >= required_line_slots(delay, width)
+        assert slots <= required_line_slots(delay, width) + 4

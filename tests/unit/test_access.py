@@ -1,0 +1,112 @@
+"""Unit tests for access-set arithmetic (Eq. 3/4, Eq. 12, buffer sizing)."""
+
+import pytest
+
+from repro.core.access import (
+    access_set,
+    ceil_div,
+    first_line,
+    minimal_slot_count,
+    model_line_slots,
+    required_line_slots,
+    separation_requirement,
+    sets_disjoint,
+)
+
+W = 64
+
+
+class TestLineFormulas:
+    def test_ceil_div(self):
+        assert ceil_div(0, 4) == 0
+        assert ceil_div(1, 4) == 1
+        assert ceil_div(4, 4) == 1
+        assert ceil_div(5, 4) == 2
+
+    def test_first_line_matches_eq3(self):
+        assert first_line(10, 10, W) == 0
+        assert first_line(10 + 1, 10, W) == 1
+        assert first_line(10 + W, 10, W) == 1
+        assert first_line(10 + W + 1, 10, W) == 2
+
+    def test_first_line_before_start_raises(self):
+        with pytest.raises(ValueError):
+            first_line(5, 10, W)
+
+    def test_access_set_height(self):
+        lines = access_set(100, 0, W, 3)
+        assert len(lines) == 3
+        assert lines.start == first_line(100, 0, W)
+
+
+class TestSeparation:
+    def test_separation_requirement_matches_eq12(self):
+        assert separation_requirement(3, W) == 3 * W
+        assert separation_requirement(1, 2 * W) == 2 * W
+
+    def test_separation_implies_disjoint_sets(self):
+        # Trailing stage with SH=3 behind a writer (SH=1) by exactly 3W.
+        gap = separation_requirement(3, W)
+        for t in range(gap, gap + 4 * W):
+            assert sets_disjoint(t, gap, 3, 0, 1, W)
+
+    def test_smaller_gap_eventually_conflicts(self):
+        gap = separation_requirement(3, W) - W  # one line too close
+        conflict = any(not sets_disjoint(t, gap, 3, 0, 1, W) for t in range(gap, gap + 4 * W))
+        assert conflict
+
+    def test_sets_disjoint_before_start_is_true(self):
+        assert sets_disjoint(5, 10, 3, 20, 1, W)
+
+
+class TestBufferSizing:
+    def test_required_slots_classic_case(self):
+        # Dual-port 3x3: delay (SH-1)*W + 1 -> 3 line slots (Fig. 1).
+        assert required_line_slots(2 * W + 1, W) == 3
+
+    def test_required_slots_exact_multiple(self):
+        # Single-port 3x3: delay SH*W -> 4 line slots.
+        assert required_line_slots(3 * W, W) == 4
+
+    def test_required_slots_small_delays(self):
+        assert required_line_slots(0, W) == 1
+        assert required_line_slots(1, W) == 1
+        assert required_line_slots(W - 1, W) == 1
+        assert required_line_slots(W, W) == 2
+
+    def test_required_slots_negative_rejected(self):
+        with pytest.raises(ValueError):
+            required_line_slots(-1, W)
+
+    def test_model_line_slots_matches_eq2(self):
+        assert model_line_slots(2 * W + 1, W) == 3
+        assert model_line_slots(3 * W, W) == 3
+        assert model_line_slots(0, W) == 0
+
+
+class TestMinimalSlotCount:
+    def test_classic_dual_port_needs_three(self):
+        slots = minimal_slot_count(W, 2, [(2 * W + 1, 3)])
+        assert slots == 3
+
+    def test_single_port_needs_stencil_plus_one(self):
+        slots = minimal_slot_count(W, 1, [(3 * W, 3)])
+        assert slots == 4
+
+    def test_empty_accessors(self):
+        assert minimal_slot_count(W, 2, []) == 0
+
+    def test_multi_consumer_may_need_extra_slot(self):
+        # Two consumers plus the writer on a dual-port buffer: the capacity
+        # bound alone can alias the writer with the slowest reader.
+        delays = [(2 * W + 1, 3), (4 * W + 2, 2)]
+        slots = minimal_slot_count(W, 2, delays)
+        assert slots >= required_line_slots(4 * W + 2, W)
+        # And the returned count must actually be contention-free.
+        from repro.core.access import _period_is_legal
+
+        assert _period_is_legal(W, 2, [(0, 1)] + delays, slots, 1, (4 * W + 2 // W + 2) * W)
+
+    def test_coalesced_grouping(self):
+        slots = minimal_slot_count(W, 2, [(3 * W, 3)], coalesce_factor=2)
+        assert slots >= 4

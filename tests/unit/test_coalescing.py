@@ -1,0 +1,87 @@
+"""Unit tests for the line-coalescing DAG rewrite (Algorithm 1)."""
+
+from repro.core.coalescing import coalesce_dag, coalescing_factors, _split_heights
+from repro.memory.spec import asic_dual_port, asic_single_port
+
+from tests.conftest import TEST_WIDTH, build_chain, build_paper_example
+
+W = TEST_WIDTH
+
+
+class TestFactors:
+    def test_dual_port_small_width_allows_two(self):
+        factors = coalescing_factors(build_chain(3), W, asic_dual_port())
+        assert factors["K0"] == 2
+        assert factors["K1"] == 2
+        assert factors["K2"] == 1  # output stage: no consumers
+
+    def test_single_port_disables_coalescing(self):
+        factors = coalescing_factors(build_chain(3), W, asic_single_port())
+        assert all(f == 1 for f in factors.values())
+
+    def test_large_lines_disable_coalescing(self):
+        factors = coalescing_factors(build_chain(3), 1920, asic_dual_port())
+        assert all(f == 1 for f in factors.values())
+
+
+class TestSplitHeights:
+    def test_paper_example_split(self):
+        assert _split_heights(3, 2) == [2, 1]
+
+    def test_exact_split(self):
+        assert _split_heights(4, 2) == [2, 2]
+
+    def test_no_split_needed(self):
+        assert _split_heights(2, 3) == [2]
+
+
+class TestRewrite:
+    def test_no_rewrite_when_factor_one(self):
+        original = build_chain(3)
+        result = coalesce_dag(original, 1920, asic_dual_port())
+        assert result.groups == []
+        assert len(result.dag) == len(original)
+
+    def test_tall_consumer_is_split(self):
+        dag = build_chain(2, stencil=5)  # K1 reads 5 lines of K0
+        result = coalesce_dag(dag, W, asic_dual_port())
+        groups = result.virtual_groups_of("K1")
+        assert len(groups) == 1
+        group = groups[0]
+        # ceil(5 / 2) = 3 virtual readers; the physical stage is the first.
+        assert len(group.virtual_stages) == 3
+        assert group.virtual_stages[0] == "K1"
+        heights = [group.line_ranges[v][1] for v in group.virtual_stages]
+        assert heights == [2, 2, 1]
+        assert sum(heights) == 5
+
+    def test_virtual_stages_marked(self):
+        dag = build_chain(3, stencil=3)
+        result = coalesce_dag(dag, W, asic_dual_port())
+        virtual = [s for s in result.dag.stages() if s.is_virtual]
+        assert virtual, "3-line windows with factor 2 must create virtual readers"
+        for stage in virtual:
+            assert stage.virtual_of is not None
+
+    def test_virtual_edges_read_producer(self):
+        dag = build_chain(2, stencil=4)
+        result = coalesce_dag(dag, W, asic_dual_port())
+        group = result.virtual_groups_of("K1")[0]
+        for virtual_name in group.virtual_stages[1:]:
+            edge = result.dag.edge("K0", virtual_name)
+            offset, height = group.line_ranges[virtual_name]
+            assert edge.window.height == height
+            assert offset >= 2
+
+    def test_synchronized_sets(self):
+        dag = build_chain(2, stencil=5)
+        result = coalesce_dag(dag, W, asic_dual_port())
+        sets = result.synchronized_sets()
+        assert len(sets) == 1
+        assert set(sets[0]) == {"K1", *result.virtual_groups_of("K1")[0].virtual_stages[1:]}
+
+    def test_paper_example_rewrite_keeps_stage_count_of_originals(self):
+        dag = build_paper_example()
+        result = coalesce_dag(dag, W, asic_dual_port())
+        original_names = set(dag.stage_names())
+        assert original_names <= set(result.dag.stage_names())

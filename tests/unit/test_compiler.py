@@ -1,0 +1,66 @@
+"""Unit tests for the top-level compile facade."""
+
+import pytest
+
+from repro.core.compiler import compile_pipeline
+from repro.core.scheduler import SchedulerOptions
+from repro.memory.spec import asic_dual_port, asic_single_port
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain, build_paper_example
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+
+class TestCompile:
+    def test_default_memory_spec(self):
+        accelerator = compile_pipeline(build_chain(3), image_width=W, image_height=H)
+        assert accelerator.schedule.memory_spec.name == asic_dual_port().name
+        assert accelerator.compile_seconds > 0
+
+    def test_coalescing_flag_overrides_options(self):
+        accelerator = compile_pipeline(
+            build_chain(3, stencil=5),
+            image_width=W,
+            image_height=H,
+            coalescing=True,
+            options=SchedulerOptions(coalescing=False),
+        )
+        assert accelerator.schedule.generator == "imagen+lc"
+
+    def test_lc_never_allocates_more_than_plain(self):
+        for dag_builder in (lambda: build_chain(3, stencil=3), build_paper_example):
+            dag = dag_builder()
+            plain = compile_pipeline(dag, image_width=W, image_height=H)
+            coalesced = compile_pipeline(dag, image_width=W, image_height=H, coalescing=True)
+            assert coalesced.schedule.total_allocated_bits <= plain.schedule.total_allocated_bits
+
+    def test_memory_spec_passthrough(self):
+        accelerator = compile_pipeline(
+            build_chain(3), image_width=W, image_height=H, memory_spec=asic_single_port(),
+            options=SchedulerOptions(ports=1),
+        )
+        assert accelerator.schedule.memory_spec.ports == 1
+
+    def test_verify_runs_cycle_checks(self):
+        accelerator = compile_pipeline(build_chain(3), image_width=W, image_height=H)
+        report = accelerator.verify()
+        assert report.ok
+        assert report.steady_state_throughput == pytest.approx(1.0, abs=0.05)
+
+    def test_reports_available(self):
+        accelerator = compile_pipeline(build_paper_example(), image_width=W, image_height=H)
+        area = accelerator.area_report()
+        power = accelerator.power_report()
+        assert area.memory_mm2 > 0
+        assert power.memory_mw > 0
+
+    def test_generate_verilog(self):
+        accelerator = compile_pipeline(build_chain(3), image_width=W, image_height=H)
+        verilog = accelerator.generate_verilog()
+        assert "module accelerator_chain" in verilog
+        assert "endmodule" in verilog
+
+    def test_describe(self):
+        accelerator = compile_pipeline(build_chain(3), image_width=W, image_height=H)
+        assert "K0" in accelerator.describe()
+        assert accelerator.dag is accelerator.schedule.dag

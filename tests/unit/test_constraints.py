@@ -1,0 +1,135 @@
+"""Unit tests for scheduling constraint generation."""
+
+import pytest
+
+from repro.core.constraints import (
+    buffer_accessors,
+    coalescing_safety_constraints,
+    contention_disjunctions,
+    data_dependency_constraints,
+    pair_gap,
+    schedule_horizon,
+)
+from repro.core.access import Accessor
+
+from tests.conftest import TEST_WIDTH, build_chain, build_paper_example, build_two_consumer
+
+W = TEST_WIDTH
+
+
+class TestDataDependencies:
+    def test_chain_dependencies(self):
+        dag = build_chain(3, stencil=3)
+        deps = data_dependency_constraints(dag, W)
+        assert len(deps) == 2
+        for dep in deps:
+            assert dep.min_delay == 2 * W + 1
+
+    def test_pointwise_dependency(self):
+        dag = build_chain(2, stencil=1)
+        deps = data_dependency_constraints(dag, W)
+        assert deps[0].min_delay == 1
+
+    def test_paper_example_dependencies(self):
+        dag = build_paper_example()
+        deps = {(d.producer, d.consumer): d.min_delay for d in data_dependency_constraints(dag, W)}
+        assert deps[("K0", "K1")] == 2 * W + 1
+        assert deps[("K0", "K2")] == W + 1  # 2x2 window
+        assert deps[("K1", "K2")] == 2 * W + 1
+
+
+class TestAccessors:
+    def test_buffer_accessors_include_writer(self):
+        dag = build_paper_example()
+        accessors = buffer_accessors(dag, "K0")
+        names = {a.stage for a in accessors}
+        assert names == {"K0", "K1", "K2"}
+        writer = next(a for a in accessors if a.is_writer)
+        assert writer.stencil_height == 1
+
+    def test_consumer_heights_from_edges(self):
+        dag = build_paper_example()
+        heights = {a.stage: a.stencil_height for a in buffer_accessors(dag, "K0")}
+        assert heights["K1"] == 3
+        assert heights["K2"] == 2
+
+
+class TestContention:
+    def test_dual_port_single_consumer_has_no_disjunctions(self):
+        dag = build_chain(3)
+        assert contention_disjunctions(dag, W, ports=2) == []
+
+    def test_single_port_chain_generates_pairs(self):
+        dag = build_chain(3)
+        disjunctions = contention_disjunctions(dag, W, ports=1)
+        assert len(disjunctions) == 2  # one per producer-consumer buffer
+        for disjunction in disjunctions:
+            assert disjunction.is_singleton
+            candidate = disjunction.candidates[0]
+            assert candidate.min_gap == 3 * W
+
+    def test_paper_example_dual_port(self):
+        dag = build_paper_example()
+        disjunctions = contention_disjunctions(dag, W, ports=2)
+        assert len(disjunctions) == 1
+        assert disjunctions[0].buffer == "K0"
+        trailing = {c.trailing for c in disjunctions[0].candidates}
+        # The writer K0 can never be the trailing stage.
+        assert "K0" not in trailing
+
+    def test_impossible_orientations_filtered(self):
+        dag = build_paper_example()
+        disjunctions = contention_disjunctions(dag, W, ports=2)
+        pairs = {(c.trailing, c.leading) for c in disjunctions[0].candidates}
+        # K1 can never trail K2 because K2 depends on K1.
+        assert ("K1", "K2") not in pairs
+
+    def test_two_independent_consumers_keep_both_orientations(self):
+        dag = build_two_consumer()
+        disjunctions = contention_disjunctions(dag, W, ports=2)
+        pairs = {(c.trailing, c.leading) for c in disjunctions[0].candidates}
+        assert ("A", "B") in pairs and ("B", "A") in pairs
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError):
+            contention_disjunctions(build_chain(), W, ports=0)
+
+    def test_coalesced_buffer_uses_consumer_pairs(self):
+        dag = build_two_consumer()
+        disjunctions = contention_disjunctions(dag, W, ports=2, coalesce_factors={"K0": 2})
+        assert len(disjunctions) == 1
+        for candidate in disjunctions[0].candidates:
+            assert candidate.min_gap == (3 + 2 - 1) * W
+
+
+class TestCoalescingSafety:
+    def test_constraints_only_for_coalesced_buffers(self):
+        dag = build_chain(3)
+        constraints = coalescing_safety_constraints(dag, W, {"K0": 2, "K1": 1})
+        assert len(constraints) == 1
+        assert constraints[0].producer == "K0"
+        assert constraints[0].min_delay == 3 * W
+
+    def test_no_constraints_without_coalescing(self):
+        dag = build_chain(3)
+        assert coalescing_safety_constraints(dag, W, {"K0": 1, "K1": 1}) == []
+
+
+class TestGaps:
+    def test_pair_gap_writer_pair(self):
+        trailing = Accessor("c", 3)
+        leading = Accessor("p", 1, is_writer=True)
+        assert pair_gap(trailing, leading, W, 1) == 3 * W
+        assert pair_gap(trailing, leading, W, 2) == 3 * W
+
+    def test_pair_gap_consumer_pair_under_coalescing(self):
+        trailing = Accessor("c2", 3)
+        leading = Accessor("c1", 3)
+        assert pair_gap(trailing, leading, W, 1) == 3 * W
+        assert pair_gap(trailing, leading, W, 2) == 4 * W
+
+    def test_schedule_horizon_is_generous(self):
+        dag = build_paper_example()
+        horizon = schedule_horizon(dag, W)
+        deps = data_dependency_constraints(dag, W)
+        assert horizon > sum(d.min_delay for d in deps)

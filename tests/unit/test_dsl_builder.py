@@ -1,0 +1,117 @@
+"""Unit tests for the Python pipeline builder."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import ast
+from repro.dsl.builder import PipelineBuilder, convolve, window_average, window_sum
+from repro.errors import DSLSemanticError
+from repro.ir.stencil import StencilWindow
+
+
+class TestBuilder:
+    def test_simple_chain(self):
+        builder = PipelineBuilder("p")
+        k0 = builder.input("K0")
+        k1 = builder.stage("K1", window_sum(k0, 3, 3))
+        builder.output("K2", k1(0, 0) * 2.0)
+        dag = builder.build()
+        assert len(dag) == 3
+        assert dag.edge("K0", "K1").window.height == 3
+        assert dag.edge("K1", "K2").window.size == 1
+
+    def test_windows_derived_from_expression(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        builder.output("K1", k0(-2, -1) + k0(2, 1))
+        dag = builder.build()
+        window = dag.edge("K0", "K1").window
+        assert window.width == 5 and window.height == 3
+
+    def test_explicit_reads_without_expression(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        builder.output("K1", reads={k0: StencilWindow.centered(3, 3)})
+        dag = builder.build()
+        assert dag.edge("K0", "K1").window.height == 3
+        assert dag.stage("K1").expression is None
+
+    def test_expression_and_reads_merge(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        builder.output("K1", k0(0, 0), reads={"K0": StencilWindow.centered(5, 5)})
+        dag = builder.build()
+        assert dag.edge("K0", "K1").window.height == 5
+
+    def test_stage_requires_reads(self):
+        builder = PipelineBuilder()
+        builder.input("K0")
+        with pytest.raises(DSLSemanticError):
+            builder.stage("K1")
+
+    def test_build_only_once(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        builder.output("K1", k0(0, 0))
+        builder.build()
+        with pytest.raises(DSLSemanticError):
+            builder.build()
+
+    def test_handle_repr_and_ref(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        assert "K0" in repr(k0)
+        assert k0.ref(1, 2) == ast.StageRef("K0", 1, 2)
+
+
+class TestExpressionHelpers:
+    def test_window_sum_matches_manual(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        expr = window_sum(k0, 3, 3)
+        image = np.arange(36, dtype=float).reshape(6, 6)
+        result = ast.evaluate(expr, {"K0": image})
+        # Interior pixel: sum of the 3x3 neighbourhood.
+        expected = image[1:4, 1:4].sum()
+        assert result[2, 2] == pytest.approx(expected)
+
+    def test_window_average(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        expr = window_average(k0, 3, 3)
+        image = np.full((5, 5), 7.0)
+        result = ast.evaluate(expr, {"K0": image})
+        np.testing.assert_allclose(result, 7.0)
+
+    def test_convolve_identity_kernel(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        expr = convolve(k0, [[0.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 0.0]])
+        image = np.arange(25, dtype=float).reshape(5, 5)
+        np.testing.assert_allclose(ast.evaluate(expr, {"K0": image}), image)
+
+    def test_convolve_normalize(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        expr = convolve(k0, [[1.0, 1.0], [1.0, 1.0]], normalize=True)
+        image = np.full((4, 4), 3.0)
+        np.testing.assert_allclose(ast.evaluate(expr, {"K0": image}), 3.0)
+
+    def test_convolve_rejects_ragged_kernel(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        with pytest.raises(DSLSemanticError):
+            convolve(k0, [[1.0, 2.0], [3.0]])
+
+    def test_convolve_rejects_zero_kernel(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        with pytest.raises(DSLSemanticError):
+            convolve(k0, [[0.0, 0.0], [0.0, 0.0]])
+
+    def test_top_left_anchored_window_sum(self):
+        builder = PipelineBuilder()
+        k0 = builder.input("K0")
+        expr = window_sum(k0, 2, 2, centered=False)
+        windows = ast.stencil_windows(expr)
+        assert windows["K0"].min_dx == 0 and windows["K0"].max_dy == 1

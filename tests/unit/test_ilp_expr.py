@@ -1,0 +1,113 @@
+"""Unit tests for ILP variables and linear expressions."""
+
+import pytest
+
+from repro.errors import ILPError
+from repro.ilp.expr import LinExpr, linear_sum
+from repro.ilp.model import Model
+
+
+@pytest.fixture
+def model():
+    return Model("t")
+
+
+class TestLinExpr:
+    def test_variable_arithmetic(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        expr = 2 * x + y - 3
+        assert expr.coefficient(x) == 2
+        assert expr.coefficient(y) == 1
+        assert expr.constant == -3
+
+    def test_addition_merges_terms(self, model):
+        x = model.add_var("x")
+        expr = x + x + 1 + x
+        assert expr.coefficient(x) == 3
+        assert expr.constant == 1
+
+    def test_subtraction_and_negation(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        expr = -(x - y)
+        assert expr.coefficient(x) == -1
+        assert expr.coefficient(y) == 1
+
+    def test_rsub(self, model):
+        x = model.add_var("x")
+        expr = 5 - x
+        assert expr.constant == 5
+        assert expr.coefficient(x) == -1
+
+    def test_scaling(self, model):
+        x = model.add_var("x")
+        expr = (x + 2) * 3
+        assert expr.coefficient(x) == 3
+        assert expr.constant == 6
+
+    def test_nonlinear_scaling_rejected(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        with pytest.raises(ILPError):
+            (x + 1) * (y + 1)
+
+    def test_evaluate(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        expr = 2 * x - y + 1
+        assert expr.evaluate({x: 3, y: 4}) == 3
+
+    def test_evaluate_missing_value(self, model):
+        x = model.add_var("x")
+        with pytest.raises(ILPError):
+            (x + 1).evaluate({})
+
+    def test_is_constant(self, model):
+        x = model.add_var("x")
+        assert LinExpr({}, 4.0).is_constant()
+        assert not (x + 1).is_constant()
+        assert (x - x).is_constant()
+
+    def test_linear_sum(self, model):
+        xs = [model.add_var(f"x{i}") for i in range(4)]
+        expr = linear_sum(xs)
+        assert all(expr.coefficient(x) == 1 for x in xs)
+
+    def test_coerce_rejects_strings(self, model):
+        x = model.add_var("x")
+        with pytest.raises(ILPError):
+            x + "nope"
+
+    def test_from_terms(self, model):
+        x = model.add_var("x")
+        expr = LinExpr.from_terms([(2.0, x), (3.0, x)], constant=1.0)
+        assert expr.coefficient(x) == 5.0
+        assert expr.constant == 1.0
+
+
+class TestComparisons:
+    def test_le_builds_constraint(self, model):
+        x = model.add_var("x")
+        constraint = x + 1 <= 5
+        assert constraint.sense == "<="
+        assert constraint.rhs == 4
+
+    def test_ge_builds_constraint(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        constraint = x - y >= 3
+        assert constraint.sense == ">="
+        assert constraint.rhs == 3
+
+    def test_eq_method(self, model):
+        x = model.add_var("x")
+        constraint = (x + 2).eq(7)
+        assert constraint.sense == "=="
+        assert constraint.rhs == 5
+
+    def test_constraint_satisfaction(self, model):
+        x = model.add_var("x")
+        constraint = x >= 2
+        assert constraint.satisfied_by({x: 2})
+        assert not constraint.satisfied_by({x: 1})

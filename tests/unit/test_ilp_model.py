@@ -1,0 +1,91 @@
+"""Unit tests for the ILP model container."""
+
+import pytest
+
+from repro.errors import ILPError
+from repro.ilp.model import Model
+
+
+class TestModel:
+    def test_variable_kinds(self):
+        model = Model()
+        x = model.add_var("x")
+        b = model.add_binary_var("b")
+        i = model.add_integer_var("i", lb=2, ub=9)
+        assert not x.integer
+        assert b.integer and b.lb == 0 and b.ub == 1
+        assert i.integer and i.lb == 2
+
+    def test_duplicate_variable_name(self):
+        model = Model()
+        model.add_var("x")
+        with pytest.raises(ILPError):
+            model.add_var("x")
+
+    def test_invalid_bounds(self):
+        model = Model()
+        with pytest.raises(ILPError):
+            model.add_var("x", lb=5, ub=1)
+
+    def test_bad_sense(self):
+        with pytest.raises(ILPError):
+            Model(sense="maximize")
+
+    def test_objective_requires_linear_expression(self):
+        model = Model()
+        x = model.add_var("x")
+        model.set_objective(x)  # a bare variable is accepted
+        with pytest.raises(ILPError):
+            model.set_objective("x + 1")
+
+    def test_objective_sense_override(self):
+        model = Model(sense="min")
+        x = model.add_var("x")
+        model.set_objective(x + 0, sense="max")
+        assert model.sense == "max"
+
+    def test_add_constraint_requires_constraint(self):
+        model = Model()
+        model.add_var("x")
+        with pytest.raises(ILPError):
+            model.add_constraint(True)  # type: ignore[arg-type]
+
+    def test_foreign_variable_rejected(self):
+        model_a = Model("a")
+        model_b = Model("b")
+        x = model_a.add_var("x")
+        model_b.add_var("y")
+        with pytest.raises(ILPError):
+            model_b.add_constraint(x >= 1)
+
+    def test_counts(self):
+        model = Model()
+        x = model.add_integer_var("x")
+        y = model.add_var("y")
+        model.add_constraint(x + y >= 1)
+        assert model.num_variables == 2
+        assert model.num_integer_variables == 1
+        assert model.num_constraints == 1
+
+    def test_is_feasible(self):
+        model = Model()
+        x = model.add_integer_var("x", lb=0, ub=10)
+        y = model.add_var("y", lb=0)
+        model.add_constraint(x + y >= 3)
+        assert model.is_feasible({x: 2, y: 1})
+        assert not model.is_feasible({x: 2, y: 0.5})  # violates constraint
+        assert not model.is_feasible({x: 2.5, y: 1})  # integrality
+        assert not model.is_feasible({x: -1, y: 5})  # bound
+        assert not model.is_feasible({x: 2})  # missing value
+
+    def test_objective_value(self):
+        model = Model()
+        x = model.add_var("x")
+        model.set_objective(2 * x + 1)
+        assert model.objective_value({x: 4}) == 9
+
+    def test_named_constraint(self):
+        model = Model()
+        x = model.add_var("x")
+        constraint = model.add_constraint(x >= 1, name="lower")
+        assert constraint.name == "lower"

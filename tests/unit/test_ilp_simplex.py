@@ -1,0 +1,117 @@
+"""Unit tests for the dense two-phase simplex LP solver."""
+
+import numpy as np
+import pytest
+
+from repro.ilp.simplex import solve_lp
+
+
+def lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, lb=None, ub=None):
+    c = np.asarray(c, dtype=float)
+    n = c.size
+    lb = np.zeros(n) if lb is None else np.asarray(lb, dtype=float)
+    ub = np.full(n, np.inf) if ub is None else np.asarray(ub, dtype=float)
+    return solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+
+
+class TestBasicLPs:
+    def test_simple_minimisation(self):
+        # min x + y s.t. x + y >= 2  (as -x - y <= -2)
+        result = lp([1, 1], a_ub=[[-1, -1]], b_ub=[-2])
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(2.0)
+
+    def test_bounded_maximisation_as_negated_min(self):
+        # max 3x + 2y s.t. x + y <= 4, x <= 2  ->  min -3x - 2y
+        result = lp([-3, -2], a_ub=[[1, 1], [1, 0]], b_ub=[4, 2])
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(-10.0)
+        assert result.x[0] == pytest.approx(2.0)
+        assert result.x[1] == pytest.approx(2.0)
+
+    def test_equality_constraints(self):
+        # min x + 2y s.t. x + y == 5
+        result = lp([1, 2], a_eq=[[1, 1]], b_eq=[5])
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(5.0)
+        assert result.x[0] == pytest.approx(5.0)
+
+    def test_infeasible(self):
+        # x >= 5 and x <= 1 simultaneously.
+        result = lp([1], a_ub=[[-1], [1]], b_ub=[-5, 1])
+        assert result.status == "infeasible"
+
+    def test_unbounded(self):
+        # min -x with x unbounded above.
+        result = lp([-1])
+        assert result.status == "unbounded"
+
+    def test_degenerate_constraints(self):
+        result = lp([1, 1], a_ub=[[1, 1], [1, 1], [2, 2]], b_ub=[3, 3, 6])
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(0.0)
+
+
+class TestBounds:
+    def test_lower_bounds_shift(self):
+        # min x + y with x >= 3, y >= 4
+        result = lp([1, 1], lb=[3, 4])
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(7.0)
+
+    def test_upper_bounds(self):
+        # min -x with 0 <= x <= 6
+        result = lp([-1], ub=[6])
+        assert result.status == "optimal"
+        assert result.x[0] == pytest.approx(6.0)
+
+    def test_negative_lower_bound(self):
+        # min x with x >= -5
+        result = lp([1], lb=[-5])
+        assert result.status == "optimal"
+        assert result.x[0] == pytest.approx(-5.0)
+
+    def test_free_variable(self):
+        # min x s.t. x >= -7 expressed via a constraint, x itself free.
+        result = lp([1], a_ub=[[-1]], b_ub=[7], lb=[-np.inf])
+        assert result.status == "optimal"
+        assert result.x[0] == pytest.approx(-7.0)
+
+    def test_mirrored_variable(self):
+        # Only an upper bound: min -x, x <= 9, x unbounded below -> optimum at 9.
+        result = lp([-1], lb=[-np.inf], ub=[9])
+        assert result.status == "optimal"
+        assert result.x[0] == pytest.approx(9.0)
+
+    def test_infeasible_bound_vs_constraint(self):
+        # x <= 2 (bound) but constraint x >= 4.
+        result = lp([1], a_ub=[[-1]], b_ub=[-4], ub=[2])
+        assert result.status == "infeasible"
+
+
+class TestSolutionQuality:
+    def test_solution_satisfies_constraints(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = 3
+            a_ub = rng.integers(-3, 4, size=(4, n)).astype(float)
+            b_ub = rng.integers(5, 20, size=4).astype(float)
+            c = rng.integers(1, 5, size=n).astype(float)
+            result = lp(c, a_ub=a_ub, b_ub=b_ub)
+            assert result.status == "optimal"
+            assert np.all(a_ub @ result.x <= b_ub + 1e-6)
+            assert np.all(result.x >= -1e-9)
+
+    def test_matches_scipy_linprog(self):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = 4
+            a_ub = rng.integers(-2, 5, size=(5, n)).astype(float)
+            b_ub = rng.integers(5, 30, size=5).astype(float)
+            c = rng.integers(1, 6, size=n).astype(float)
+            ours = lp(c, a_ub=a_ub, b_ub=b_ub)
+            reference = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, None)] * n, method="highs")
+            assert ours.status == "optimal" and reference.success
+            assert ours.objective == pytest.approx(reference.fun, abs=1e-6)

@@ -1,0 +1,82 @@
+"""Unit tests for memory specifications."""
+
+import pytest
+
+from repro.errors import MemoryConfigError
+from repro.memory.spec import (
+    MemorySpec,
+    asic_dual_port,
+    asic_fifo,
+    asic_single_port,
+    spartan7_bram,
+    spartan7_fpga,
+)
+
+
+class TestMemorySpec:
+    def test_validation(self):
+        with pytest.raises(MemoryConfigError):
+            MemorySpec("bad", block_bits=0, ports=2)
+        with pytest.raises(MemoryConfigError):
+            MemorySpec("bad", block_bits=1024, ports=0)
+        with pytest.raises(MemoryConfigError):
+            MemorySpec("bad", block_bits=1024, ports=1, pixel_bits=0)
+        with pytest.raises(MemoryConfigError):
+            MemorySpec("bad", block_bits=1024, ports=1, style="cache")
+
+    def test_geometry_helpers(self):
+        spec = MemorySpec("s", block_bits=32 * 1024, ports=2, pixel_bits=16)
+        assert spec.block_bytes == 4096
+        assert spec.line_bits(480) == 7680
+        assert spec.lines_per_block(480) == 4
+        assert spec.blocks_per_line(480) == 1
+        assert spec.blocks_per_line(4096) == 2
+
+    def test_coalescing_factor_limited_by_ports(self):
+        spec = MemorySpec("s", block_bits=64 * 1024, ports=2, pixel_bits=16)
+        assert spec.coalescing_factor(480) == 2
+
+    def test_coalescing_factor_limited_by_capacity(self):
+        spec = MemorySpec("s", block_bits=32 * 1024, ports=2, pixel_bits=16)
+        # 1080p lines (1920 px * 16 b) do not fit twice in 32 Kbit.
+        assert spec.coalescing_factor(1920) == 1
+
+    def test_coalescing_disabled_for_single_port_and_fifo(self):
+        assert asic_single_port().coalescing_factor(480) == 1
+        assert asic_fifo().coalescing_factor(480) == 1
+
+    def test_with_ports(self):
+        spec = asic_dual_port().with_ports(1)
+        assert spec.ports == 1
+        assert "1p" in spec.name
+
+
+class TestPresets:
+    def test_asic_dual_port_defaults(self):
+        spec = asic_dual_port()
+        assert spec.ports == 2
+        assert spec.style == "sram"
+        # Reproduces the paper's setup: coalescing possible at 320p, not 1080p.
+        assert spec.coalescing_factor(480) >= 2
+        assert spec.coalescing_factor(1920) == 1
+
+    def test_asic_single_port(self):
+        spec = asic_single_port()
+        assert spec.ports == 1
+        assert not spec.allow_coalescing
+
+    def test_asic_fifo(self):
+        spec = asic_fifo()
+        assert spec.style == "fifo"
+        assert spec.ports == 2
+
+    def test_spartan7_bram(self):
+        bram = spartan7_bram()
+        assert bram.block_bits == 36 * 1024
+        assert bram.ports == 2
+
+    def test_spartan7_fpga_budget(self):
+        fpga = spartan7_fpga()
+        assert fpga.total_blocks == 120
+        with pytest.raises(MemoryConfigError):
+            type(fpga)(bram=spartan7_bram(), total_blocks=0)

@@ -1,0 +1,92 @@
+"""Unit tests for constraint pruning (Sec. 5.4)."""
+
+from repro.core.constraints import PairSeparation, contention_disjunctions
+from repro.core.pruning import count_subproblems, implies, prune_candidates, prune_disjunctions
+from repro.ir.traversal import partial_order
+
+from tests.conftest import TEST_WIDTH, build_paper_example, build_two_consumer
+
+W = TEST_WIDTH
+
+
+def sep(buffer, trailing, leading, height, gap):
+    return PairSeparation(buffer=buffer, trailing=trailing, leading=leading, stencil_height=height, min_gap=gap)
+
+
+class TestImplication:
+    def test_paper_example_implications(self):
+        dag = build_paper_example()
+        order = partial_order(dag)
+        # Candidates over LB_K0: heights K1=3, K2=2.
+        k1_k0 = sep("K0", "K1", "K0", 3, 3 * W)
+        k2_k0 = sep("K0", "K2", "K0", 2, 2 * W)
+        k2_k1 = sep("K0", "K2", "K1", 3, 3 * W)
+        # Eq. 13a / 13b: both stricter constraints imply the relaxed one.
+        assert implies(k1_k0, k2_k0, order)
+        assert implies(k2_k1, k2_k0, order)
+        # The relaxed one implies neither of the strict ones.
+        assert not implies(k2_k0, k1_k0, order)
+        assert not implies(k2_k0, k2_k1, order)
+
+    def test_implication_requires_same_buffer(self):
+        dag = build_paper_example()
+        order = partial_order(dag)
+        a = sep("K0", "K1", "K0", 3, 3 * W)
+        b = sep("K1", "K2", "K1", 3, 3 * W)
+        assert not implies(a, b, order)
+
+    def test_implication_requires_gap_ordering(self):
+        dag = build_paper_example()
+        order = partial_order(dag)
+        small = sep("K0", "K1", "K0", 1, W)
+        large = sep("K0", "K2", "K0", 3, 3 * W)
+        # K1 trailing by only W does not guarantee K2 trailing by 3W.
+        assert not implies(small, large, order)
+
+
+class TestPruneCandidates:
+    def test_paper_example_prunes_to_single_candidate(self):
+        dag = build_paper_example()
+        order = partial_order(dag)
+        disjunctions = contention_disjunctions(dag, W, ports=2)
+        pruned = prune_candidates(disjunctions[0].candidates, order)
+        assert len(pruned) == 1
+        kept = pruned[0]
+        assert (kept.trailing, kept.leading) == ("K2", "K0")
+
+    def test_independent_consumers_not_pruned(self):
+        dag = build_two_consumer()
+        order = partial_order(dag)
+        disjunctions = contention_disjunctions(dag, W, ports=2)
+        pruned = prune_candidates(disjunctions[0].candidates, order)
+        # A and B are incomparable: no candidate dominates all others.
+        assert len(pruned) >= 2
+
+    def test_equivalent_candidates_keep_one(self):
+        dag = build_two_consumer()
+        order = partial_order(dag)
+        a = sep("K0", "A", "K0", 3, 3 * W)
+        duplicate = sep("K0", "A", "K0", 3, 3 * W)
+        pruned = prune_candidates([a, duplicate], order)
+        assert len(pruned) == 1
+
+
+class TestPruneDisjunctions:
+    def test_prune_reduces_subproblem_count(self):
+        dag = build_paper_example()
+        raw = contention_disjunctions(dag, W, ports=2)
+        pruned = prune_disjunctions(raw, dag)
+        assert count_subproblems(pruned) <= count_subproblems(raw)
+        assert count_subproblems(pruned) == 1
+
+    def test_count_subproblems_multiplies(self):
+        dag = build_two_consumer()
+        raw = contention_disjunctions(dag, W, ports=1)
+        assert count_subproblems(raw) >= 1
+
+    def test_structure_preserved(self):
+        dag = build_paper_example()
+        raw = contention_disjunctions(dag, W, ports=2)
+        pruned = prune_disjunctions(raw, dag)
+        assert len(pruned) == len(raw)
+        assert pruned[0].buffer == raw[0].buffer

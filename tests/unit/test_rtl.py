@@ -1,0 +1,136 @@
+"""Unit tests for Verilog expression translation, generation and linting."""
+
+import pytest
+
+from repro.core.compiler import compile_pipeline
+from repro.dsl import ast
+from repro.errors import RTLError
+from repro.rtl.expressions import (
+    DATA_WIDTH,
+    constant_literal,
+    sanitize,
+    translate,
+    window_wire,
+)
+from repro.rtl.generator import generate_design
+from repro.rtl.lint import lint_verilog
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain, build_paper_example
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+
+class TestExpressionTranslation:
+    def test_constants_are_fixed_point(self):
+        assert constant_literal(1.0) == f"{DATA_WIDTH}'sd256"
+        assert constant_literal(-0.5) == f"-{DATA_WIDTH}'sd128"
+
+    def test_stage_reference_names(self):
+        assert window_wire("K0", -1, 2) == "win_K0_m1_p2"
+        assert "win_K0_p0_p0" in translate(ast.StageRef("K0", 0, 0))
+
+    def test_sanitize(self):
+        assert sanitize("a-b c") == "a_b_c"
+        assert sanitize("1stage").startswith("s_")
+
+    def test_multiplication_renormalises(self):
+        text = translate(ast.StageRef("A") * 2.0)
+        assert ">>> 8" in text
+
+    def test_division_prescales(self):
+        text = translate(ast.StageRef("A") / ast.StageRef("B"))
+        assert "<<< 8" in text
+
+    def test_comparison_produces_fixed_point_bool(self):
+        text = translate(ast.StageRef("A") > 3.0)
+        assert "?" in text and "'sd256" in text
+
+    def test_intrinsics(self):
+        assert "?" in translate(ast.Call("max", (ast.StageRef("A"), ast.Const(1.0))))
+        assert "isqrt" in translate(ast.Call("sqrt", (ast.StageRef("A"),)))
+        clamp = translate(ast.Call("clamp", (ast.StageRef("A"), ast.Const(0.0), ast.Const(1.0))))
+        assert clamp.count("?") == 2
+
+    def test_abs_and_negation(self):
+        assert "-" in translate(-ast.StageRef("A"))
+        assert "< 0" in translate(ast.Call("abs", (ast.StageRef("A"),)))
+
+
+class TestGeneratedDesign:
+    @pytest.fixture(scope="class")
+    def design(self):
+        accelerator = compile_pipeline(build_paper_example(), image_width=W, image_height=H)
+        return generate_design(accelerator.schedule)
+
+    def test_module_inventory(self, design):
+        assert design.top_module == "accelerator_paper_example"
+        assert "imagen_sram" in design.module_names
+        assert any(name.startswith("linebuffer_") for name in design.module_names)
+        assert any(name.startswith("stage_") for name in design.module_names)
+        assert any(name.startswith("window_") for name in design.module_names)
+
+    def test_every_stage_has_a_module(self, design):
+        for stage in ("K1", "K2"):
+            assert f"stage_{stage}" in design.module_names
+
+    def test_schedule_constants_embedded(self, design):
+        accelerator = compile_pipeline(build_paper_example(), image_width=W, image_height=H)
+        for start in accelerator.schedule.start_cycles.values():
+            assert f"32'd{start}" in design.source
+
+    def test_line_count_is_substantial(self, design):
+        assert design.line_count > 200
+
+    def test_lint_passes(self, design):
+        report = lint_verilog(design.source)
+        assert report.ok, report.errors
+
+    def test_chain_design_lints(self):
+        accelerator = compile_pipeline(build_chain(4), image_width=W, image_height=H)
+        report = lint_verilog(accelerator.generate_verilog())
+        assert report.ok, report.errors
+
+
+class TestLinter:
+    def test_detects_undefined_module(self):
+        source = """
+module top (input wire clk);
+    missing_module u_inst (.clk(clk));
+endmodule
+"""
+        report = lint_verilog(source)
+        assert not report.ok
+        assert any("undefined module" in e for e in report.errors)
+
+    def test_detects_unbalanced_endmodule(self):
+        source = "module a (input wire clk);\nmodule b (input wire clk);\nendmodule\n"
+        report = lint_verilog(source)
+        assert not report.ok
+
+    def test_detects_duplicate_modules(self):
+        source = "module a ();\nendmodule\nmodule a ();\nendmodule\n"
+        report = lint_verilog(source)
+        assert any("Duplicate" in e for e in report.errors)
+
+    def test_detects_unknown_port(self):
+        source = """
+module leaf (input wire clk);
+endmodule
+module top (input wire clk);
+    leaf u_leaf (.clk(clk), .nonexistent(clk));
+endmodule
+"""
+        report = lint_verilog(source)
+        assert any("unknown port" in e for e in report.errors)
+
+    def test_reports_top_modules(self):
+        source = """
+module leaf (input wire clk);
+endmodule
+module top (input wire clk);
+    leaf u_leaf (.clk(clk));
+endmodule
+"""
+        report = lint_verilog(source)
+        assert report.ok
+        assert report.top_modules == ["top"]

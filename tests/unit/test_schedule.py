@@ -1,0 +1,76 @@
+"""Unit tests for the PipelineSchedule artifact."""
+
+import pytest
+
+from repro.core.schedule import PipelineSchedule
+from repro.errors import SchedulingError
+from repro.memory.allocator import allocate_line_buffer
+from repro.memory.spec import asic_dual_port
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+
+def make_schedule():
+    dag = build_chain(3, stencil=3)
+    spec = asic_dual_port()
+    starts = {"K0": 0, "K1": 2 * W + 1, "K2": 4 * W + 2}
+    buffers = {
+        "K0": allocate_line_buffer("K0", W, 3, spec, reader_heights={"K1": 3}),
+        "K1": allocate_line_buffer("K1", W, 3, spec, reader_heights={"K2": 3}),
+    }
+    return PipelineSchedule(
+        dag=dag,
+        image_width=W,
+        image_height=H,
+        memory_spec=spec,
+        start_cycles=starts,
+        line_buffers=buffers,
+        generator="test",
+    )
+
+
+class TestSchedule:
+    def test_missing_start_cycle_rejected(self):
+        dag = build_chain(3)
+        with pytest.raises(SchedulingError):
+            PipelineSchedule(
+                dag=dag,
+                image_width=W,
+                image_height=H,
+                memory_spec=asic_dual_port(),
+                start_cycles={"K0": 0},
+                line_buffers={},
+            )
+
+    def test_delays(self):
+        schedule = make_schedule()
+        assert schedule.delay("K0", "K1") == 2 * W + 1
+        assert schedule.max_delay("K0") == 2 * W + 1
+        assert schedule.max_delay("K2") == 0
+
+    def test_unknown_stage(self):
+        schedule = make_schedule()
+        with pytest.raises(SchedulingError):
+            schedule.start("missing")
+
+    def test_throughput_and_latency(self):
+        schedule = make_schedule()
+        assert schedule.steady_state_throughput == 1.0
+        assert schedule.pixels_per_frame == W * H
+        assert schedule.end_to_end_latency_cycles == (4 * W + 2) + W * H
+        assert schedule.startup_latency_cycles == 4 * W + 3
+
+    def test_memory_totals(self):
+        schedule = make_schedule()
+        assert schedule.total_line_slots == 6
+        assert schedule.total_blocks == 6
+        assert schedule.total_allocated_bits == 6 * asic_dual_port().block_bits
+        assert schedule.total_data_kbytes == pytest.approx(6 * W * 16 / 8192)
+
+    def test_describe_mentions_generator_and_stages(self):
+        text = make_schedule().describe()
+        assert "test" in text
+        for name in ("K0", "K1", "K2"):
+            assert name in text

@@ -1,0 +1,101 @@
+"""Unit tests for the functional (pixel-accurate) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.darkroom import linearize_dag
+from repro.dsl.builder import PipelineBuilder, window_sum
+from repro.errors import SimulationError
+from repro.sim.functional import run_functional
+
+from tests.conftest import build_chain, build_paper_example
+
+
+def box_filter(image: np.ndarray, size: int) -> np.ndarray:
+    """Edge-clamped box filter reference built directly on NumPy."""
+    half = (size - 1) // 2
+    height, width = image.shape
+    output = np.zeros_like(image)
+    for dy in range(-half, size - half):
+        for dx in range(-half, size - half):
+            ys = np.clip(np.arange(height) + dy, 0, height - 1)
+            xs = np.clip(np.arange(width) + dx, 0, width - 1)
+            output += image[np.ix_(ys, xs)]
+    return output
+
+
+class TestFunctionalExecution:
+    def test_single_stage_window_sum(self, small_image):
+        dag = build_chain(2, stencil=3)
+        result = run_functional(dag, small_image)
+        np.testing.assert_allclose(result.image("K1"), box_filter(small_image, 3))
+
+    def test_chain_composition(self, small_image):
+        dag = build_chain(3, stencil=3)
+        result = run_functional(dag, small_image)
+        expected = box_filter(box_filter(small_image, 3), 3)
+        np.testing.assert_allclose(result.output(), expected)
+
+    def test_paper_example(self, small_image):
+        dag = build_paper_example()
+        result = run_functional(dag, small_image)
+        assert result.output().shape == small_image.shape
+        assert "K1" in result.images and "K2" in result.images
+
+    def test_single_input_array_shortcut(self, small_image):
+        dag = build_chain(2)
+        by_name = run_functional(dag, {"K0": small_image})
+        by_array = run_functional(dag, small_image)
+        np.testing.assert_allclose(by_name.output(), by_array.output())
+
+    def test_relay_stages_forward_data(self, small_image):
+        dag = build_paper_example()
+        linearized = linearize_dag(dag)
+        original = run_functional(dag, small_image)
+        rewritten = run_functional(linearized, small_image)
+        np.testing.assert_allclose(original.output(), rewritten.output())
+
+    def test_multiple_outputs(self, small_image):
+        builder = PipelineBuilder("two-out")
+        k0 = builder.input("K0")
+        builder.output("A", window_sum(k0, 3, 3))
+        builder.output("B", k0(0, 0) * 2.0)
+        dag = builder.build()
+        result = run_functional(dag, small_image)
+        assert set(result.outputs()) == {"A", "B"}
+
+
+class TestFunctionalErrors:
+    def test_missing_input_image(self):
+        dag = build_chain(2)
+        with pytest.raises(SimulationError):
+            run_functional(dag, {})
+
+    def test_wrong_dimensionality(self):
+        dag = build_chain(2)
+        with pytest.raises(SimulationError):
+            run_functional(dag, {"K0": np.zeros((4, 4, 3))})
+
+    def test_mismatched_shapes(self, small_image):
+        builder = PipelineBuilder("two-in")
+        a = builder.input("A")
+        b = builder.input("B")
+        builder.output("C", a(0, 0) + b(0, 0))
+        dag = builder.build()
+        with pytest.raises(SimulationError):
+            run_functional(dag, {"A": small_image, "B": small_image[:-2, :]})
+
+    def test_unknown_stage_image(self, small_image):
+        dag = build_chain(2)
+        result = run_functional(dag, small_image)
+        with pytest.raises(SimulationError):
+            result.image("missing")
+
+    def test_array_shortcut_requires_single_input(self, small_image):
+        builder = PipelineBuilder("two-in")
+        a = builder.input("A")
+        b = builder.input("B")
+        builder.output("C", a(0, 0) + b(0, 0))
+        dag = builder.build()
+        with pytest.raises(SimulationError):
+            run_functional(dag, small_image)

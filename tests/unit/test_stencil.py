@@ -1,0 +1,76 @@
+"""Unit tests for stencil-window geometry."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.stencil import StencilWindow
+
+
+class TestConstruction:
+    def test_from_extent_anchors_top_left(self):
+        window = StencilWindow.from_extent(3, 2)
+        assert (window.min_dx, window.max_dx) == (0, 2)
+        assert (window.min_dy, window.max_dy) == (0, 1)
+
+    def test_centered_odd(self):
+        window = StencilWindow.centered(3, 5)
+        assert (window.min_dx, window.max_dx) == (-1, 1)
+        assert (window.min_dy, window.max_dy) == (-2, 2)
+
+    def test_centered_even_is_asymmetric(self):
+        window = StencilWindow.centered(2, 2)
+        assert window.width == 2
+        assert window.height == 2
+
+    def test_point(self):
+        window = StencilWindow.point()
+        assert window.width == 1
+        assert window.height == 1
+        assert window.size == 1
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GraphError):
+            StencilWindow(min_dx=1, max_dx=0, min_dy=0, max_dy=0)
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(GraphError):
+            StencilWindow.from_extent(0, 3)
+        with pytest.raises(GraphError):
+            StencilWindow.centered(3, 0)
+
+
+class TestGeometry:
+    def test_width_height_size(self):
+        window = StencilWindow(-1, 1, -2, 2)
+        assert window.width == 3
+        assert window.height == 5
+        assert window.size == 15
+
+    def test_offsets_raster_order(self):
+        window = StencilWindow.from_extent(2, 2)
+        assert window.offsets() == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_offsets_count_matches_size(self):
+        window = StencilWindow.centered(5, 3)
+        assert len(window.offsets()) == window.size
+
+    def test_union_covers_both(self):
+        a = StencilWindow(-1, 0, 0, 0)
+        b = StencilWindow(0, 2, -1, 1)
+        union = a.union(b)
+        assert union.min_dx == -1 and union.max_dx == 2
+        assert union.min_dy == -1 and union.max_dy == 1
+
+    def test_union_is_commutative(self):
+        a = StencilWindow(-1, 2, 0, 3)
+        b = StencilWindow(0, 1, -2, 0)
+        assert a.union(b) == b.union(a)
+
+    def test_normalized_keeps_extent(self):
+        window = StencilWindow.centered(3, 3)
+        normalized = window.normalized()
+        assert normalized.width == 3 and normalized.height == 3
+        assert normalized.min_dx == 0 and normalized.min_dy == 0
+
+    def test_str_format(self):
+        assert str(StencilWindow.from_extent(3, 5)) == "3x5"

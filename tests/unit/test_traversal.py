@@ -1,0 +1,104 @@
+"""Unit tests for DAG traversal helpers."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.dag import PipelineDAG, Stage
+from repro.ir.stencil import StencilWindow
+from repro.ir.traversal import (
+    ancestors_of,
+    longest_path_lengths,
+    partial_order,
+    pipeline_depth,
+    precedes,
+    reachable_from,
+    topological_order,
+)
+
+from tests.conftest import build_paper_example
+
+
+def diamond() -> PipelineDAG:
+    dag = PipelineDAG("diamond")
+    for name, kwargs in (
+        ("A", {"is_input": True}),
+        ("B", {}),
+        ("C", {}),
+        ("D", {"is_output": True}),
+    ):
+        dag.add_stage(Stage(name, **kwargs))
+    dag.add_edge("A", "B", StencilWindow.from_extent(3, 3))
+    dag.add_edge("A", "C", StencilWindow.from_extent(1, 1))
+    dag.add_edge("B", "D", StencilWindow.from_extent(3, 3))
+    dag.add_edge("C", "D", StencilWindow.from_extent(1, 1))
+    return dag
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        order = topological_order(diamond())
+        assert order.index("A") < order.index("B") < order.index("D")
+        assert order.index("A") < order.index("C") < order.index("D")
+
+    def test_detects_cycles(self):
+        dag = PipelineDAG()
+        dag.add_stage(Stage("A", is_input=True))
+        dag.add_stage(Stage("B", is_output=True))
+        dag.add_edge("A", "B", StencilWindow.point())
+        dag.add_edge("B", "A", StencilWindow.point())
+        with pytest.raises(GraphError):
+            topological_order(dag)
+
+    def test_includes_every_stage_once(self):
+        order = topological_order(build_paper_example())
+        assert sorted(order) == sorted(build_paper_example().stage_names())
+
+
+class TestReachability:
+    def test_reachable_from_input(self):
+        assert reachable_from(diamond(), "A") == {"B", "C", "D"}
+
+    def test_reachable_from_leaf_is_empty(self):
+        assert reachable_from(diamond(), "D") == set()
+
+    def test_ancestors(self):
+        assert ancestors_of(diamond(), "D") == {"A", "B", "C"}
+        assert ancestors_of(diamond(), "A") == set()
+
+
+class TestPartialOrder:
+    def test_reflexive(self):
+        order = partial_order(diamond())
+        for name in ("A", "B", "C", "D"):
+            assert name in order[name]
+
+    def test_follows_dependencies(self):
+        order = partial_order(diamond())
+        assert precedes(order, "A", "D")
+        assert precedes(order, "B", "D")
+        assert not precedes(order, "B", "C")
+        assert not precedes(order, "D", "A")
+
+    def test_unknown_stage_raises(self):
+        order = partial_order(diamond())
+        with pytest.raises(GraphError):
+            precedes(order, "missing", "A")
+
+    def test_paper_example_order(self):
+        dag = build_paper_example()
+        order = partial_order(dag)
+        assert precedes(order, "K1", "K2")
+        assert precedes(order, "K0", "K2")
+        assert not precedes(order, "K2", "K1")
+
+
+class TestLongestPath:
+    def test_unweighted_depth(self):
+        lengths = longest_path_lengths(diamond())
+        assert lengths["A"] == 0
+        assert lengths["D"] == 2
+        assert pipeline_depth(diamond()) == 3
+
+    def test_weighted_by_stencil(self):
+        lengths = longest_path_lengths(diamond(), weight_fn=lambda e: e.window.height)
+        assert lengths["D"] == 6  # A -3-> B -3-> D

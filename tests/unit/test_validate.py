@@ -1,0 +1,76 @@
+"""Unit tests for DAG validation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.dag import PipelineDAG, Stage
+from repro.ir.stencil import StencilWindow
+from repro.ir.validate import validate_dag
+
+from tests.conftest import build_chain, build_paper_example
+
+
+class TestValidation:
+    def test_valid_pipelines_pass(self):
+        validate_dag(build_chain())
+        validate_dag(build_paper_example())
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            validate_dag(PipelineDAG())
+
+    def test_missing_input(self):
+        dag = PipelineDAG()
+        dag.add_stage(Stage("A"))
+        dag.add_stage(Stage("B", is_output=True))
+        dag.add_edge("A", "B", StencilWindow.point())
+        with pytest.raises(GraphError, match="no input"):
+            validate_dag(dag)
+
+    def test_missing_output(self):
+        dag = PipelineDAG()
+        dag.add_stage(Stage("A", is_input=True))
+        dag.add_stage(Stage("B"))
+        dag.add_edge("A", "B", StencilWindow.point())
+        with pytest.raises(GraphError, match="no output"):
+            validate_dag(dag)
+
+    def test_input_with_producer_rejected(self):
+        dag = PipelineDAG()
+        dag.add_stage(Stage("A", is_input=True))
+        dag.add_stage(Stage("B", is_input=True, is_output=True))
+        dag.add_edge("A", "B", StencilWindow.point())
+        with pytest.raises(GraphError, match="must not have on-chip producers"):
+            validate_dag(dag)
+
+    def test_orphan_stage_rejected(self):
+        dag = PipelineDAG()
+        dag.add_stage(Stage("A", is_input=True))
+        dag.add_stage(Stage("B", is_output=True))
+        dag.add_stage(Stage("C"))
+        dag.add_edge("A", "B", StencilWindow.point())
+        with pytest.raises(GraphError):
+            validate_dag(dag)
+
+    def test_stage_not_feeding_output_rejected(self):
+        dag = PipelineDAG()
+        dag.add_stage(Stage("A", is_input=True))
+        dag.add_stage(Stage("B", is_output=True))
+        dag.add_stage(Stage("C"))  # reads A but feeds nothing
+        dag.add_edge("A", "B", StencilWindow.point())
+        dag.add_edge("A", "C", StencilWindow.point())
+        with pytest.raises(GraphError, match="does not feed any output"):
+            validate_dag(dag)
+
+    def test_non_input_without_producer_rejected(self):
+        dag = PipelineDAG()
+        dag.add_stage(Stage("A", is_input=True))
+        dag.add_stage(Stage("B", is_output=True))
+        dag.add_stage(Stage("C", is_output=True))
+        dag.add_edge("A", "B", StencilWindow.point())
+        with pytest.raises(GraphError):
+            validate_dag(dag)
+
+    def test_validated_returns_self(self):
+        dag = build_chain()
+        assert dag.validated() is dag
