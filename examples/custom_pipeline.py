@@ -3,8 +3,9 @@
 
 This example builds a small high-dynamic-range-style fusion pipeline (weighted
 blend of a detail image and a smoothed image) with the programmatic
-:class:`PipelineBuilder`, then compiles it against three different on-chip
-memory specifications — generic dual-port SRAM, single-port SRAM, and FIFOs —
+:class:`PipelineBuilder`, registers it in the algorithm catalog alongside the
+Table-3 suite, then compiles it against three different on-chip memory
+specifications — generic dual-port SRAM, single-port SRAM, and FIFOs —
 showing how the same algorithm maps to different hardware and what each costs.
 
 Run:  python examples/custom_pipeline.py
@@ -15,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import PipelineBuilder, compile_pipeline
+from repro.algorithms import algorithm_info, build_algorithm, register_algorithm
 from repro.baselines import generate_baseline
 from repro.core.scheduler import SchedulerOptions
 from repro.dsl import ast
@@ -49,7 +51,20 @@ def build_fusion_pipeline():
 
 
 def main() -> None:
-    dag = build_fusion_pipeline()
+    # Install the custom pipeline into the catalog: any code that accepts a
+    # Table-3 algorithm name (benchmarks, sweeps, services) can now build it.
+    register_algorithm(
+        "exposure-fusion",
+        "HDR-style weighted fusion of a smoothed and a detail image (custom)",
+        build_fusion_pipeline,
+    )
+    info = algorithm_info("exposure-fusion")
+    print(
+        f"registered {info.name!r}: {info.expected_stages} stages, "
+        f"{info.expected_multi_consumer_stages} multi-consumer\n"
+    )
+
+    dag = build_algorithm("exposure-fusion")
     print(dag.summary())
     print(f"multi-consumer stages: {dag.multi_consumer_stages()}\n")
 

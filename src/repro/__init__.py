@@ -10,6 +10,7 @@ Public API
 * :mod:`repro.rtl` — Verilog generation.
 * :mod:`repro.algorithms` — the Table-3 algorithm suite.
 * :mod:`repro.dse` — design-space exploration (Fig. 10).
+* :mod:`repro.service` — compile cache + batch/parallel compilation engine.
 """
 
 from repro.core.compiler import CompiledAccelerator, compile_pipeline
@@ -27,8 +28,15 @@ from repro.memory.spec import (
     asic_fifo,
     spartan7_fpga,
 )
+from repro.service import (
+    CompileCache,
+    CompileEngine,
+    CompileRequest,
+    CompileResult,
+    DiskCacheStore,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledAccelerator",
@@ -48,5 +56,10 @@ __all__ = [
     "asic_single_port",
     "asic_fifo",
     "spartan7_fpga",
+    "CompileCache",
+    "CompileEngine",
+    "CompileRequest",
+    "CompileResult",
+    "DiskCacheStore",
     "__version__",
 ]

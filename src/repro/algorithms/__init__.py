@@ -3,8 +3,12 @@
 from repro.algorithms.catalog import (
     ALGORITHM_NAMES,
     AlgorithmInfo,
+    algorithm_info,
+    algorithm_names,
     build_algorithm,
+    register_algorithm,
     table3,
+    unregister_algorithm,
 )
 from repro.algorithms.canny import build_canny_s, build_canny_m
 from repro.algorithms.harris import build_harris_s, build_harris_m
@@ -16,8 +20,12 @@ from repro.algorithms.synthetic import build_synthetic_pipeline
 __all__ = [
     "ALGORITHM_NAMES",
     "AlgorithmInfo",
+    "algorithm_info",
+    "algorithm_names",
     "build_algorithm",
+    "register_algorithm",
     "table3",
+    "unregister_algorithm",
     "build_canny_s",
     "build_canny_m",
     "build_harris_s",

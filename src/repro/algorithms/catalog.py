@@ -41,7 +41,59 @@ _CATALOG: dict[str, AlgorithmInfo] = {
     )
 }
 
+#: The built-in Table-3 evaluation suite.  Frozen at import time: algorithms
+#: registered later via :func:`register_algorithm` are resolvable through
+#: :func:`build_algorithm` / :func:`algorithm_names` but do not join the
+#: benchmark suite that iterates this tuple.
 ALGORITHM_NAMES: tuple[str, ...] = tuple(_CATALOG)
+
+
+def algorithm_names() -> tuple[str, ...]:
+    """Live view of every algorithm currently in the catalog."""
+    return tuple(_CATALOG)
+
+
+def register_algorithm(
+    name: str,
+    description: str,
+    builder: Callable[[], PipelineDAG],
+    *,
+    overwrite: bool = False,
+) -> AlgorithmInfo:
+    """Install a custom pipeline into the catalog.
+
+    The builder is invoked once to validate the DAG and derive the stage
+    counts recorded in the :class:`AlgorithmInfo` row.  Registering a name
+    that already exists raises :class:`ReproError` unless ``overwrite=True``.
+    """
+    if not overwrite and name in _CATALOG:
+        raise ReproError(
+            f"Algorithm {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    dag = builder()
+    dag.validated()
+    info = AlgorithmInfo(
+        name=name,
+        description=description,
+        builder=builder,
+        expected_stages=len(dag),
+        expected_multi_consumer_stages=len(dag.multi_consumer_stages()),
+    )
+    _CATALOG[name] = info
+    return info
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a previously registered algorithm.
+
+    The built-in Table-3 suite cannot be unregistered: :data:`ALGORITHM_NAMES`
+    and :func:`table3` contractually list those entries.
+    """
+    if name in ALGORITHM_NAMES:
+        raise ReproError(f"Algorithm {name!r} is part of the built-in suite and cannot be unregistered")
+    if name not in _CATALOG:
+        raise ReproError(f"Unknown algorithm {name!r}; nothing to unregister")
+    del _CATALOG[name]
 
 
 def algorithm_info(name: str) -> AlgorithmInfo:
@@ -49,7 +101,7 @@ def algorithm_info(name: str) -> AlgorithmInfo:
         return _CATALOG[name]
     except KeyError:
         raise ReproError(
-            f"Unknown algorithm {name!r}; available: {', '.join(ALGORITHM_NAMES)}"
+            f"Unknown algorithm {name!r}; available: {', '.join(_CATALOG)}"
         ) from None
 
 
@@ -59,9 +111,14 @@ def build_algorithm(name: str) -> PipelineDAG:
 
 
 def table3() -> list[dict[str, object]]:
-    """Reproduce Table 3: name, description, #stages, #multi-consumer stages."""
+    """Reproduce Table 3: name, description, #stages, #multi-consumer stages.
+
+    Only the built-in evaluation suite is listed; client algorithms added via
+    :func:`register_algorithm` do not change the paper's table.
+    """
     rows = []
-    for info in _CATALOG.values():
+    for name in ALGORITHM_NAMES:
+        info = _CATALOG[name]
         dag = info.build()
         rows.append(
             {

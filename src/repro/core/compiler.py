@@ -8,6 +8,7 @@ area/power reports.  This is the primary public API of the library.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Any
 
 from repro.core.schedule import PipelineSchedule
@@ -62,6 +63,31 @@ class CompiledAccelerator:
         return self.schedule.describe()
 
 
+def _schedule_cached(
+    dag: PipelineDAG,
+    image_width: int,
+    image_height: int,
+    memory_spec: MemorySpec,
+    options: SchedulerOptions,
+    cache: Any | None,
+) -> tuple[PipelineSchedule, str]:
+    """Solve one schedule request, consulting a compile cache when given.
+
+    Returns the schedule and its source: ``"memory"``/``"disk"`` for cache
+    tiers, ``"solver"`` for a fresh ILP solve (which is then recorded in the
+    cache).
+    """
+    if cache is None:
+        return schedule_pipeline(dag, image_width, image_height, memory_spec, options), "solver"
+    schedule, source, fingerprint = cache.fetch(
+        dag, image_width, image_height, memory_spec, options
+    )
+    if schedule is None:
+        schedule = schedule_pipeline(dag, image_width, image_height, memory_spec, options)
+        cache.put(fingerprint, schedule)
+    return schedule, source
+
+
 def compile_pipeline(
     dag: PipelineDAG,
     *,
@@ -70,6 +96,7 @@ def compile_pipeline(
     memory_spec: MemorySpec | None = None,
     coalescing: bool = False,
     options: SchedulerOptions | None = None,
+    cache: Any | None = None,
 ) -> CompiledAccelerator:
     """Compile a pipeline DAG into a line-buffered accelerator design.
 
@@ -88,27 +115,46 @@ def compile_pipeline(
     options:
         Full :class:`SchedulerOptions`; ``coalescing`` overrides its field
         when both are given.
+    cache:
+        Optional :class:`repro.service.cache.CompileCache`.  Every ILP solve
+        — including both solves of the auto-coalescing fallback — is first
+        looked up by content fingerprint and recorded on a miss, so repeated
+        requests never re-run the solver.  The sources consulted are recorded
+        in the returned accelerator's ``metadata["schedule_sources"]``.
     """
     memory_spec = memory_spec or asic_dual_port()
     options = options or SchedulerOptions()
-    if coalescing:
-        options.coalescing = True
-    schedule = schedule_pipeline(dag, image_width, image_height, memory_spec, options)
+    if coalescing and not options.coalescing:
+        # Override on a copy: the caller's options object stays untouched.
+        options = dc_replace(options, coalescing=True)
+    schedule, source = _schedule_cached(
+        dag, image_width, image_height, memory_spec, options, cache
+    )
+    sources = [source]
 
     if options.coalescing and options.coalescing_policy == "auto":
         # Coalescing interacts with downstream buffer sizes through the extra
         # writer-separation constraints; like any compiler optimization it is
         # only kept when it actually reduces the allocated on-chip memory.
-        from dataclasses import replace as dc_replace
-
         plain_options = dc_replace(options, coalescing=False)
-        plain = schedule_pipeline(dag, image_width, image_height, memory_spec, plain_options)
+        plain, plain_source = _schedule_cached(
+            dag, image_width, image_height, memory_spec, plain_options, cache
+        )
+        sources.append(plain_source)
         if plain.total_allocated_bits < schedule.total_allocated_bits or (
             plain.total_allocated_bits == schedule.total_allocated_bits
             and plain.total_blocks < schedule.total_blocks
         ):
-            plain.generator = "imagen+lc"
-            plain.solver_stats["coalescing_fallback"] = True
-            schedule = plain
+            # Relabel a copy: `plain` may live in the cache under the
+            # non-coalesced fingerprint and must stay pristine there.
+            schedule = dc_replace(
+                plain,
+                generator="imagen+lc",
+                solver_stats={**plain.solver_stats, "coalescing_fallback": True},
+            )
 
-    return CompiledAccelerator(schedule=schedule, options=options)
+    return CompiledAccelerator(
+        schedule=schedule,
+        options=options,
+        metadata={"schedule_sources": tuple(sources)},
+    )

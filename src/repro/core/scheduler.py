@@ -148,7 +148,7 @@ def schedule_pipeline(
         }
     )
 
-    line_buffers = _build_line_buffers(
+    line_buffers = realize_line_buffers(
         dag, image_width, memory_spec, start_cycles, factors, ports
     )
     generator = "imagen+lc" if options.coalescing else "imagen"
@@ -361,7 +361,7 @@ def _solve_by_enumeration(
 # ---------------------------------------------------------------------------
 # Physical realisation
 # ---------------------------------------------------------------------------
-def _build_line_buffers(
+def realize_line_buffers(
     dag: PipelineDAG,
     image_width: int,
     memory_spec: MemorySpec,
@@ -369,6 +369,13 @@ def _build_line_buffers(
     factors: dict[str, int],
     ports: int,
 ):
+    """Derive the physical line-buffer configurations from a solved schedule.
+
+    This is a pure function of its arguments, which makes a schedule fully
+    reconstructible from ``(dag, width, spec, start_cycles, factors, ports)``
+    alone — the property the on-disk compile cache
+    (:mod:`repro.service.cache`) relies on to round-trip designs.
+    """
     line_buffers = {}
     for producer in dag.stage_names():
         edges = dag.out_edges(producer)

@@ -10,6 +10,13 @@ Only buffers where coalescing can actually change the design (at least two
 line slots and a block large enough for two lines) are swept; the rest are
 fixed to DP, which keeps the sweep size at ``2^k`` for the ``k`` buffers that
 matter — the paper's example of four configurable stages giving 16 designs.
+
+The baseline compile that discovers the configurable buffers doubles as the
+all-DP design point, so it is never solved twice.  Passing an
+``engine`` (or ``parallel=N``) routes every configuration through a
+:class:`repro.service.engine.CompileEngine`: designs compile concurrently,
+failures are captured per point instead of aborting the sweep, and the all-DP
+configuration is served from the cache entry the baseline compile warmed.
 """
 
 from __future__ import annotations
@@ -50,19 +57,54 @@ class DesignPoint:
 
 
 def _configurable_buffers(
-    dag: PipelineDAG, image_width: int, image_height: int, memory_spec: MemorySpec
-) -> list[str]:
-    """Buffers whose DP/DPLC choice can change the design."""
+    dag: PipelineDAG,
+    image_width: int,
+    image_height: int,
+    memory_spec: MemorySpec,
+    engine=None,
+) -> tuple[CompiledAccelerator, list[str]]:
+    """Compile the baseline design and list buffers whose DP/DPLC choice matters.
+
+    Returns the baseline :class:`CompiledAccelerator` alongside the buffer
+    names so the caller can reuse it as the all-DP design point instead of
+    compiling the identical configuration a second time.
+    """
+    if engine is not None:
+        baseline = engine.compile(
+            dag,
+            image_width=image_width,
+            image_height=image_height,
+            memory_spec=memory_spec,
+            label=f"{dag.name}:baseline",
+        )
+    else:
+        baseline = compile_pipeline(
+            dag, image_width=image_width, image_height=image_height, memory_spec=memory_spec
+        )
     if memory_spec.coalescing_factor(image_width) <= 1:
-        return []
-    baseline = compile_pipeline(
-        dag, image_width=image_width, image_height=image_height, memory_spec=memory_spec
-    )
-    return [
+        return baseline, []
+    configurable = [
         producer
         for producer, config in baseline.schedule.line_buffers.items()
         if config.lines >= 2
     ]
+    return baseline, configurable
+
+
+def _design_options(configuration: dict[str, str]) -> SchedulerOptions:
+    coalesce_any = any(choice == "DPLC" for choice in configuration.values())
+    per_stage = {name: (choice == "DPLC") for name, choice in configuration.items()}
+    return SchedulerOptions(
+        coalescing=coalesce_any,
+        coalescing_policy="all",
+        per_stage_coalescing=per_stage,
+    )
+
+
+def _design_label(configuration: dict[str, str]) -> str:
+    return "+".join(
+        name for name, choice in configuration.items() if choice == "DPLC"
+    ) or "all-DP"
 
 
 def sweep_memory_configurations(
@@ -74,49 +116,131 @@ def sweep_memory_configurations(
     tech: SramTechModel | None = None,
     max_designs: int = 1024,
     sizing: str = "custom",
+    engine=None,
+    parallel: int | None = None,
 ) -> list[DesignPoint]:
     """Compile every DP/DPLC combination and return the evaluated design points.
 
     The DSE models an ASIC flow in which memory macros are compiled per design
     (``sizing="custom"``): a DPLC buffer uses fewer but larger macros, which
     lowers area but raises per-access energy — the trade-off of Fig. 10.
+
+    Parameters
+    ----------
+    engine:
+        Optional :class:`repro.service.engine.CompileEngine`.  All ``2^k``
+        configurations are submitted as one batch: compiles run on the
+        engine's worker pool, repeated design points are served from its
+        cache, and a design point that fails to compile is skipped (the sweep
+        only raises when *every* point fails).  Results are identical to the
+        serial path, in the same order.
+    parallel:
+        Convenience: ``parallel=N`` builds a throwaway engine with ``N``
+        workers for this sweep (ignored when ``engine`` is given).
     """
     memory_spec = memory_spec or asic_dual_port()
-    configurable = _configurable_buffers(dag, image_width, image_height, memory_spec)
-    num_designs = 2 ** len(configurable)
-    if num_designs > max_designs:
-        raise ReproError(
-            f"Sweep would produce {num_designs} designs for {len(configurable)} configurable "
-            f"buffers (limit {max_designs})"
-        )
+    own_engine = False
+    if engine is None and parallel:
+        from repro.service.engine import CompileEngine
 
-    points: list[DesignPoint] = []
-    for choices in itertools.product(("DP", "DPLC"), repeat=len(configurable)):
-        configuration = dict(zip(configurable, choices))
-        coalesce_any = any(choice == "DPLC" for choice in choices)
-        per_stage = {name: (choice == "DPLC") for name, choice in configuration.items()}
-        options = SchedulerOptions(
-            coalescing=coalesce_any,
-            coalescing_policy="all",
-            per_stage_coalescing=per_stage,
+        engine = CompileEngine(workers=parallel)
+        own_engine = True
+    try:
+        baseline, configurable = _configurable_buffers(
+            dag, image_width, image_height, memory_spec, engine
         )
+        num_designs = 2 ** len(configurable)
+        if num_designs > max_designs:
+            raise ReproError(
+                f"Sweep would produce {num_designs} designs for {len(configurable)} configurable "
+                f"buffers (limit {max_designs})"
+            )
+
+        configurations = [
+            dict(zip(configurable, choices))
+            for choices in itertools.product(("DP", "DPLC"), repeat=len(configurable))
+        ]
+        if engine is not None:
+            compiled = _compile_with_engine(
+                dag, image_width, image_height, memory_spec, configurations, engine
+            )
+        else:
+            compiled = _compile_serially(
+                dag, image_width, image_height, memory_spec, configurations, baseline
+            )
+
+        points: list[DesignPoint] = []
+        for configuration, accelerator, metadata in compiled:
+            report = accelerator_report(accelerator.schedule, tech, sizing=sizing)
+            points.append(
+                DesignPoint(
+                    configuration=configuration,
+                    accelerator=accelerator,
+                    report=report,
+                    label=_design_label(configuration),
+                    metadata=metadata,
+                )
+            )
+        return points
+    finally:
+        if own_engine:
+            engine.shutdown()
+
+
+def _compile_serially(
+    dag: PipelineDAG,
+    image_width: int,
+    image_height: int,
+    memory_spec: MemorySpec,
+    configurations: list[dict[str, str]],
+    baseline: CompiledAccelerator,
+):
+    compiled = []
+    for configuration in configurations:
+        if all(choice == "DP" for choice in configuration.values()):
+            # The baseline compile *is* the all-DP design; reuse it.
+            compiled.append((configuration, baseline, {}))
+            continue
         accelerator = compile_pipeline(
             dag,
             image_width=image_width,
             image_height=image_height,
             memory_spec=memory_spec,
-            options=options,
+            options=_design_options(configuration),
         )
-        report = accelerator_report(accelerator.schedule, tech, sizing=sizing)
-        label = "+".join(
-            name for name, choice in configuration.items() if choice == "DPLC"
-        ) or "all-DP"
-        points.append(
-            DesignPoint(
-                configuration=configuration,
-                accelerator=accelerator,
-                report=report,
-                label=label,
-            )
+        compiled.append((configuration, accelerator, {}))
+    return compiled
+
+
+def _compile_with_engine(
+    dag: PipelineDAG,
+    image_width: int,
+    image_height: int,
+    memory_spec: MemorySpec,
+    configurations: list[dict[str, str]],
+    engine,
+):
+    from repro.service.jobs import CompileRequest
+
+    requests = [
+        CompileRequest(
+            dag=dag,
+            image_width=image_width,
+            image_height=image_height,
+            memory_spec=memory_spec,
+            options=_design_options(configuration),
+            label=f"{dag.name}:{_design_label(configuration)}",
         )
-    return points
+        for configuration in configurations
+    ]
+    batch = engine.submit_batch(requests)
+    compiled = []
+    for configuration, result in zip(configurations, batch.results):
+        if not result.ok:
+            continue
+        compiled.append(
+            (configuration, result.accelerator, {"compile_seconds": result.seconds})
+        )
+    if configurations and not compiled:
+        batch.raise_on_error()
+    return compiled

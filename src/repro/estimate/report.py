@@ -67,10 +67,14 @@ def accelerator_report(
 ) -> AcceleratorReport:
     """Build the combined area/power report for one design.
 
-    ``sizing`` is forwarded to the area and power estimators ("fixed" macro
-    library vs "custom" right-sized macros; see
-    :func:`repro.estimate.power.power_report`).
+    ``schedule`` may also be a :class:`repro.core.compiler.CompiledAccelerator`
+    (anything carrying a ``.schedule``), which is what the service layer's
+    compile results hand around.  ``sizing`` is forwarded to the area and
+    power estimators ("fixed" macro library vs "custom" right-sized macros;
+    see :func:`repro.estimate.power.power_report`).
     """
+    if not isinstance(schedule, PipelineSchedule) and hasattr(schedule, "schedule"):
+        schedule = schedule.schedule
     tech = tech or DEFAULT_TECH
     return AcceleratorReport(
         schedule=schedule,

@@ -208,6 +208,46 @@ class PipelineDAG:
             clone.add_edge(edge.producer, edge.consumer, edge.window)
         return clone
 
+    def canonical_form(self) -> dict:
+        """Canonical, order-independent serialization of the graph structure.
+
+        Two DAGs that describe the same pipeline — same stages, same edges,
+        same stencil windows, same stage arithmetic — produce the same
+        canonical form regardless of the order in which stages and edges were
+        added or the pipeline's display :attr:`name`.  This is the basis of
+        the content-addressed compile cache
+        (:mod:`repro.service.fingerprint`).
+
+        Free-form :attr:`Stage.metadata` annotations are deliberately
+        excluded: they do not influence scheduling, simulation or RTL
+        generation.  Expressions are serialized through their stable ``str``
+        form.
+        """
+        stages = [
+            {
+                "name": stage.name,
+                "is_input": stage.is_input,
+                "is_output": stage.is_output,
+                "virtual_of": stage.virtual_of,
+                "expression": None if stage.expression is None else str(stage.expression),
+            }
+            for stage in sorted(self._stages.values(), key=lambda s: s.name)
+        ]
+        edges = [
+            {
+                "producer": edge.producer,
+                "consumer": edge.consumer,
+                "window": [
+                    edge.window.min_dx,
+                    edge.window.max_dx,
+                    edge.window.min_dy,
+                    edge.window.max_dy,
+                ],
+            }
+            for edge in sorted(self._edges, key=lambda e: (e.producer, e.consumer))
+        ]
+        return {"stages": stages, "edges": edges}
+
     def validated(self) -> "PipelineDAG":
         """Run structural validation and return self (chaining helper)."""
         from repro.ir.validate import validate_dag

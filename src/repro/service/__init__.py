@@ -1,0 +1,61 @@
+"""Compilation service layer: content-addressed caching and batch execution.
+
+This package turns the one-shot :func:`repro.core.compile_pipeline` facade
+into a serving subsystem (the ROADMAP's "heavy traffic" direction):
+
+* :mod:`repro.service.fingerprint` — stable content hashes of compile requests;
+* :mod:`repro.service.cache` — two-tier (LRU + disk) schedule cache;
+* :mod:`repro.service.jobs` — typed request/result/batch records;
+* :mod:`repro.service.metrics` — per-request latency and hit-rate metrics;
+* :mod:`repro.service.engine` — the :class:`CompileEngine` front door.
+
+Quickstart::
+
+    from repro import CompileEngine
+    from repro.algorithms import build_algorithm
+
+    engine = CompileEngine(workers=4, cache_dir=".imagen-cache")
+    acc = engine.compile(build_algorithm("unsharp-m"), image_width=480, image_height=320)
+    acc = engine.compile(build_algorithm("unsharp-m"), image_width=480, image_height=320)
+    assert engine.cache.stats.hits >= 1  # second call never touched the solver
+"""
+
+from repro.service.cache import (
+    CacheStats,
+    CompileCache,
+    DiskCacheStore,
+    deserialize_schedule,
+    serialize_schedule,
+)
+from repro.service.engine import CompileEngine, default_worker_count
+from repro.service.fingerprint import (
+    FINGERPRINT_VERSION,
+    compile_fingerprint,
+    dag_fingerprint,
+)
+from repro.service.jobs import (
+    BatchResult,
+    CompileRequest,
+    CompileResult,
+    CompileStatus,
+)
+from repro.service.metrics import EngineMetrics, RequestTrace
+
+__all__ = [
+    "BatchResult",
+    "CacheStats",
+    "CompileCache",
+    "CompileEngine",
+    "CompileRequest",
+    "CompileResult",
+    "CompileStatus",
+    "DiskCacheStore",
+    "EngineMetrics",
+    "FINGERPRINT_VERSION",
+    "RequestTrace",
+    "compile_fingerprint",
+    "dag_fingerprint",
+    "default_worker_count",
+    "deserialize_schedule",
+    "serialize_schedule",
+]

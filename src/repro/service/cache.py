@@ -1,0 +1,278 @@
+"""Two-tier compile cache: in-memory LRU backed by an optional disk store.
+
+The cache's unit of storage is a solved :class:`PipelineSchedule`, keyed by
+the content fingerprint of the request that produced it
+(:func:`repro.service.fingerprint.compile_fingerprint`).  Caching at schedule
+granularity (rather than whole :class:`CompiledAccelerator` objects) means the
+two ILP solves of ``compile_pipeline``'s auto-coalescing fallback each get
+their own entry, so a later plain compile of the same pipeline reuses the
+fallback's non-coalesced solve.
+
+Disk entries hold only the solver's decisions (start cycles and coalescing
+factors) plus the request geometry; the physical line-buffer configurations
+are re-derived on load through
+:func:`repro.core.scheduler.realize_line_buffers`, which is a pure function of
+those decisions.  A round-tripped schedule therefore produces bit-identical
+area and power reports.  Only ImaGen-generated schedules are ever stored, so
+the re-derivation is always valid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.core.schedule import PipelineSchedule
+from repro.core.scheduler import SchedulerOptions, realize_line_buffers
+from repro.ir.dag import PipelineDAG
+from repro.memory.spec import MemorySpec
+from repro.service.fingerprint import compile_fingerprint
+
+#: Bump when the serialized payload layout changes; stale disk entries are
+#: treated as misses rather than errors.
+SCHEDULE_FORMAT_VERSION = 1
+
+#: Result source markers shared with the engine's per-request accounting.
+SOURCE_MEMORY = "memory"
+SOURCE_DISK = "disk"
+SOURCE_SOLVER = "solver"
+
+
+# ---------------------------------------------------------------------------
+# Schedule (de)serialization
+# ---------------------------------------------------------------------------
+def serialize_schedule(schedule: PipelineSchedule) -> dict:
+    """Flatten a solved schedule into a JSON-serializable payload."""
+    stats = {
+        key: value
+        for key, value in schedule.solver_stats.items()
+        if isinstance(value, (str, int, float, bool)) or value is None
+    }
+    return {
+        "version": SCHEDULE_FORMAT_VERSION,
+        "image_width": schedule.image_width,
+        "image_height": schedule.image_height,
+        "memory_spec": {
+            "name": schedule.memory_spec.name,
+            "block_bits": schedule.memory_spec.block_bits,
+            "ports": schedule.memory_spec.ports,
+            "pixel_bits": schedule.memory_spec.pixel_bits,
+            "style": schedule.memory_spec.style,
+            "allow_coalescing": schedule.memory_spec.allow_coalescing,
+        },
+        "generator": schedule.generator,
+        "start_cycles": dict(schedule.start_cycles),
+        "coalesce_factors": dict(schedule.coalesce_factors),
+        "ports": int(stats.get("ports", schedule.memory_spec.ports)),
+        "solver_stats": stats,
+    }
+
+
+def deserialize_schedule(payload: dict, dag: PipelineDAG) -> PipelineSchedule:
+    """Rebuild a schedule from :func:`serialize_schedule` output.
+
+    The caller supplies the pipeline DAG (cache keys already guarantee it is
+    structurally identical to the one that was compiled); line buffers are
+    re-derived rather than stored, which keeps payloads small and guarantees
+    they match what the allocator would produce today.
+    """
+    if payload.get("version") != SCHEDULE_FORMAT_VERSION:
+        raise ValueError(f"Unsupported schedule payload version {payload.get('version')!r}")
+    memory_spec = MemorySpec(**payload["memory_spec"])
+    start_cycles = {name: int(cycle) for name, cycle in payload["start_cycles"].items()}
+    factors = {name: int(f) for name, f in payload["coalesce_factors"].items()}
+    line_buffers = realize_line_buffers(
+        dag,
+        int(payload["image_width"]),
+        memory_spec,
+        start_cycles,
+        factors,
+        int(payload["ports"]),
+    )
+    return PipelineSchedule(
+        dag=dag,
+        image_width=int(payload["image_width"]),
+        image_height=int(payload["image_height"]),
+        memory_spec=memory_spec,
+        start_cycles=start_cycles,
+        line_buffers=line_buffers,
+        generator=payload.get("generator", "imagen"),
+        coalesce_factors=factors,
+        solver_stats=dict(payload.get("solver_stats", {})),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stores
+# ---------------------------------------------------------------------------
+class DiskCacheStore:
+    """Directory of JSON files, one per fingerprint.
+
+    Writes go through a temp file + rename so concurrent readers never see a
+    half-written entry; unreadable or stale entries degrade to cache misses.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def load(self, fingerprint: str) -> dict | None:
+        path = self.path_for(fingerprint)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def save(self, fingerprint: str, payload: dict) -> bool:
+        """Persist one entry; returns ``False`` when the write failed."""
+        path = self.path_for(fingerprint)
+        tmp = path.with_suffix(".tmp")
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            tmp.replace(path)
+            return True
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            return False
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache behaviour since construction (or clear)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return replace(self)
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class CompileCache:
+    """Thread-safe LRU of solved schedules with an optional disk tier.
+
+    ``hits`` counts both tiers (a disk hit is also counted in ``disk_hits``
+    and promotes the entry into memory).  All methods are safe to call from
+    the engine's worker threads.
+    """
+
+    def __init__(self, max_entries: int = 256, store: DiskCacheStore | None = None) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.store = store
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, PipelineSchedule] = OrderedDict()
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ reads
+    def fetch(
+        self,
+        dag: PipelineDAG,
+        image_width: int,
+        image_height: int,
+        memory_spec: MemorySpec,
+        options: SchedulerOptions,
+    ) -> tuple[PipelineSchedule | None, str, str]:
+        """Look up one request; returns ``(schedule | None, source, fingerprint)``.
+
+        ``source`` is :data:`SOURCE_MEMORY`, :data:`SOURCE_DISK`, or
+        :data:`SOURCE_SOLVER` (meaning: not cached, the caller must solve).
+        """
+        fingerprint = compile_fingerprint(dag, image_width, image_height, memory_spec, options)
+        with self._lock:
+            schedule = self._entries.get(fingerprint)
+            if schedule is not None:
+                self._entries.move_to_end(fingerprint)
+                self.stats.hits += 1
+                return schedule, SOURCE_MEMORY, fingerprint
+        if self.store is not None:
+            payload = self.store.load(fingerprint)
+            if payload is not None:
+                try:
+                    schedule = deserialize_schedule(payload, dag)
+                except Exception:
+                    # Any malformed, stale, or version-skewed entry (bad spec
+                    # fields, missing stages, ...) degrades to a cache miss.
+                    schedule = None
+                if schedule is not None:
+                    with self._lock:
+                        self._insert(fingerprint, schedule)
+                        self.stats.hits += 1
+                        self.stats.disk_hits += 1
+                    return schedule, SOURCE_DISK, fingerprint
+        with self._lock:
+            self.stats.misses += 1
+        return None, SOURCE_SOLVER, fingerprint
+
+    # ----------------------------------------------------------------- writes
+    def put(self, fingerprint: str, schedule: PipelineSchedule) -> None:
+        """Record a freshly solved schedule under its fingerprint."""
+        with self._lock:
+            self._insert(fingerprint, schedule)
+            self.stats.stores += 1
+        if self.store is not None:
+            if self.store.save(fingerprint, serialize_schedule(schedule)):
+                with self._lock:
+                    self.stats.disk_stores += 1
+
+    def _insert(self, fingerprint: str, schedule: PipelineSchedule) -> None:
+        self._entries[fingerprint] = schedule
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ admin
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def clear(self, *, disk: bool = False) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+        if disk and self.store is not None:
+            self.store.clear()

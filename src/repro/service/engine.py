@@ -1,0 +1,266 @@
+"""The compile engine: cached, deduplicated, parallel compilation service.
+
+:class:`CompileEngine` is the serving-layer entry point that wraps
+:func:`repro.core.compile_pipeline`:
+
+* every schedule solve goes through a shared :class:`CompileCache`, so
+  repeated requests (interactive clients, DSE sweeps, the auto-coalescing
+  fallback) are answered without re-running the ILP;
+* identical in-flight requests are deduplicated — concurrent batches that
+  contain the same design point trigger exactly one solve;
+* batches fan out over a thread pool (the HiGHS backend releases the GIL, so
+  independent solves overlap on multi-core hosts);
+* per-request latency and hit-rate metrics are recorded
+  (:class:`repro.service.metrics.EngineMetrics`).
+
+Single requests submitted through :meth:`CompileEngine.submit` (or the
+:meth:`CompileEngine.compile` convenience wrapper) run inline on the calling
+thread — the pool is created lazily and only for batches, so a cache-only
+engine costs nothing to construct.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+from repro.core.compiler import CompiledAccelerator, compile_pipeline
+from repro.core.scheduler import SchedulerOptions
+from repro.ir.dag import PipelineDAG
+from repro.memory.spec import MemorySpec
+from repro.service.cache import CompileCache, DiskCacheStore
+from repro.service.fingerprint import compile_fingerprint
+from repro.service.jobs import (
+    SOURCE_DEDUPLICATED,
+    BatchResult,
+    CompileRequest,
+    CompileResult,
+)
+from repro.service.metrics import EngineMetrics, RequestTrace
+
+
+def default_worker_count() -> int:
+    """Pool size used when the caller does not specify one."""
+    return min(8, os.cpu_count() or 1)
+
+
+class CompileEngine:
+    """A compilation service instance: cache + worker pool + metrics.
+
+    Parameters
+    ----------
+    workers:
+        Thread-pool size for batch submissions (default:
+        :func:`default_worker_count`).
+    cache:
+        A :class:`CompileCache` to share between engines; one is created when
+        omitted.
+    cache_dir:
+        Convenience: when given (and ``cache`` is not), the created cache is
+        backed by a :class:`DiskCacheStore` in this directory, so schedules
+        persist across processes.
+    max_cache_entries:
+        LRU capacity of the created cache.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        cache: CompileCache | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        max_cache_entries: int = 512,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or default_worker_count()
+        if cache is None:
+            store = DiskCacheStore(cache_dir) if cache_dir is not None else None
+            cache = CompileCache(max_entries=max_cache_entries, store=store)
+        self.cache = cache
+        self.metrics = EngineMetrics()
+        self._pool: ThreadPoolExecutor | None = None
+        self._inflight: dict[str, Future] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "CompileEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop the worker pool (the cache and its disk store stay usable)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-compile"
+                )
+            return self._pool
+
+    # ------------------------------------------------------------ single job
+    def compile(
+        self,
+        dag: PipelineDAG,
+        *,
+        image_width: int,
+        image_height: int,
+        memory_spec: MemorySpec | None = None,
+        coalescing: bool = False,
+        options: SchedulerOptions | None = None,
+        label: str = "",
+    ) -> CompiledAccelerator:
+        """Drop-in cached replacement for :func:`repro.core.compile_pipeline`."""
+        request = CompileRequest(
+            dag=dag,
+            image_width=image_width,
+            image_height=image_height,
+            memory_spec=memory_spec,
+            options=options,
+            coalescing=coalescing,
+            label=label,
+        )
+        return self.submit(request).unwrap()
+
+    def submit(self, request: CompileRequest) -> CompileResult:
+        """Run one request inline on the calling thread, via the cache."""
+        resolved = request.resolved()
+        fingerprint = self._fingerprint(resolved)
+        result = self._execute(resolved, fingerprint)
+        self.metrics.record(self._trace(result))
+        return result
+
+    # ----------------------------------------------------------------- batch
+    def submit_batch(self, requests: Sequence[CompileRequest] | Iterable[CompileRequest]) -> BatchResult:
+        """Compile many requests concurrently; results come back in order.
+
+        Requests with identical fingerprints — within the batch or already
+        in flight from a concurrent batch — share a single execution; the
+        sharers are reported with ``source="deduplicated"``.  A failing
+        request yields an error-carrying :class:`CompileResult` instead of
+        raising, so one infeasible design point cannot kill a sweep.
+        """
+        requests = list(requests)
+        started = time.perf_counter()
+        pool = self._ensure_pool()
+
+        slots: list[tuple[CompileRequest, str, Future, bool]] = []
+        batch_futures: dict[str, Future] = {}
+        for request in requests:
+            resolved = request.resolved()
+            fingerprint = self._fingerprint(resolved)
+            # Batch-local duplicates always share one execution (deterministic,
+            # immune to the owner finishing before the twin is enqueued).
+            future = batch_futures.get(fingerprint)
+            owner = future is None
+            if owner:
+                with self._lock:
+                    future = self._inflight.get(fingerprint)
+                    owner = future is None
+                    if owner:
+                        future = pool.submit(self._execute, resolved, fingerprint)
+                        self._inflight[fingerprint] = future
+                if owner:
+                    # Registered outside the lock: if the job already finished,
+                    # the callback runs inline and must be able to take the lock.
+                    future.add_done_callback(
+                        lambda _f, fp=fingerprint: self._clear_inflight(fp)
+                    )
+                batch_futures[fingerprint] = future
+            slots.append((resolved, fingerprint, future, owner))
+
+        results: list[CompileResult] = []
+        for resolved, fingerprint, future, owner in slots:
+            outcome: CompileResult = future.result()
+            if owner:
+                result = outcome
+            else:
+                result = replace(
+                    outcome, request=resolved, source=SOURCE_DEDUPLICATED, seconds=0.0
+                )
+            self.metrics.record(self._trace(result))
+            results.append(result)
+
+        self.metrics.record_batch()
+        return BatchResult(
+            results=results,
+            seconds=time.perf_counter() - started,
+            cache_stats=self.cache.stats.snapshot(),
+        )
+
+    # ------------------------------------------------------------- internals
+    def _fingerprint(self, resolved: CompileRequest) -> str:
+        return compile_fingerprint(
+            resolved.dag,
+            resolved.image_width,
+            resolved.image_height,
+            resolved.memory_spec,
+            resolved.options,
+        )
+
+    def _clear_inflight(self, fingerprint: str) -> None:
+        with self._lock:
+            self._inflight.pop(fingerprint, None)
+
+    def _execute(self, resolved: CompileRequest, fingerprint: str) -> CompileResult:
+        started = time.perf_counter()
+        try:
+            accelerator = compile_pipeline(
+                resolved.dag,
+                image_width=resolved.image_width,
+                image_height=resolved.image_height,
+                memory_spec=resolved.memory_spec,
+                options=resolved.options,
+                cache=self.cache,
+            )
+        except Exception as exc:  # one bad design point must not kill a batch
+            return CompileResult(
+                request=resolved,
+                fingerprint=fingerprint,
+                error=f"{type(exc).__name__}: {exc}",
+                seconds=time.perf_counter() - started,
+            )
+        sources = accelerator.metadata.get("schedule_sources", ("solver",))
+        if all(source in ("memory", "disk") for source in sources):
+            source = "disk" if "disk" in sources else "memory"
+        else:
+            source = "solver"
+        return CompileResult(
+            request=resolved,
+            fingerprint=fingerprint,
+            accelerator=accelerator,
+            source=source,
+            seconds=time.perf_counter() - started,
+        )
+
+    def _trace(self, result: CompileResult) -> RequestTrace:
+        return RequestTrace(
+            label=result.request.label or result.request.dag.name,
+            fingerprint=result.fingerprint,
+            source=result.source,
+            seconds=result.seconds,
+            ok=result.ok,
+        )
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.stats.hit_rate
+
+    def describe(self) -> str:
+        stats = self.cache.stats
+        return (
+            f"CompileEngine(workers={self.workers}, cache={len(self.cache)}/{self.cache.max_entries} "
+            f"entries, hits={stats.hits}, misses={stats.misses}, hit_rate={stats.hit_rate:.1%})"
+        )

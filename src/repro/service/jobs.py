@@ -1,0 +1,140 @@
+"""Typed job records for the compilation service.
+
+A :class:`CompileRequest` captures everything :func:`repro.core.compile_pipeline`
+needs; a :class:`CompileResult` carries either the compiled accelerator or a
+captured error, so that one infeasible design point never aborts a batch or a
+DSE sweep.  :class:`BatchResult` aggregates a batch submission with its cache
+statistics and wall-clock time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.core.compiler import CompiledAccelerator
+from repro.core.scheduler import SchedulerOptions
+from repro.errors import ReproError
+from repro.ir.dag import PipelineDAG
+from repro.memory.spec import MemorySpec, asic_dual_port
+from repro.service.cache import CacheStats
+
+
+class CompileStatus(enum.Enum):
+    """Terminal state of one compile job."""
+
+    OK = "ok"
+    ERROR = "error"
+
+
+#: Where a result came from: ``"memory"``/``"disk"`` (cache tiers),
+#: ``"solver"`` (at least one fresh ILP solve), or ``"deduplicated"``
+#: (shared with an identical in-flight request).
+SOURCE_DEDUPLICATED = "deduplicated"
+
+
+@dataclass
+class CompileRequest:
+    """One compilation job: a pipeline plus the compile parameters.
+
+    ``memory_spec`` and ``options`` may be left ``None``; :meth:`resolved`
+    fills in the library defaults (dual-port ASIC SRAM, default options) and
+    applies the ``coalescing`` convenience flag onto a private copy of the
+    options, so callers' objects are never mutated.
+    """
+
+    dag: PipelineDAG
+    image_width: int
+    image_height: int
+    memory_spec: MemorySpec | None = None
+    options: SchedulerOptions | None = None
+    coalescing: bool = False
+    label: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def resolved(self) -> "CompileRequest":
+        """A copy with defaults applied and options isolated from the caller."""
+        options = self.options or SchedulerOptions()
+        options = replace(
+            options, per_stage_coalescing=dict(options.per_stage_coalescing)
+        )
+        if self.coalescing:
+            options.coalescing = True
+        return replace(
+            self,
+            memory_spec=self.memory_spec or asic_dual_port(),
+            options=options,
+            coalescing=False,
+            metadata=dict(self.metadata),
+        )
+
+
+@dataclass
+class CompileResult:
+    """Outcome of one compile job, successful or not."""
+
+    request: CompileRequest
+    fingerprint: str = ""
+    accelerator: CompiledAccelerator | None = None
+    error: str | None = None
+    source: str = "solver"
+    seconds: float = 0.0
+
+    @property
+    def status(self) -> CompileStatus:
+        return CompileStatus.OK if self.error is None else CompileStatus.ERROR
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def from_cache(self) -> bool:
+        return self.source in ("memory", "disk")
+
+    def unwrap(self) -> CompiledAccelerator:
+        """The accelerator, or a :class:`ReproError` describing the failure."""
+        if self.accelerator is None:
+            label = self.request.label or self.request.dag.name
+            raise ReproError(f"Compilation of {label!r} failed: {self.error}")
+        return self.accelerator
+
+
+@dataclass
+class BatchResult:
+    """Results of one batch submission, in request order."""
+
+    results: list[CompileResult]
+    seconds: float = 0.0
+    cache_stats: CacheStats | None = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def ok_results(self) -> list[CompileResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failures(self) -> list[CompileResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def accelerators(self) -> list[CompiledAccelerator]:
+        """Accelerators of the successful jobs, in request order."""
+        return [r.accelerator for r in self.results if r.accelerator is not None]
+
+    def raise_on_error(self) -> "BatchResult":
+        """Raise a :class:`ReproError` summarizing failures, if any."""
+        failures = self.failures
+        if failures:
+            summary = "; ".join(
+                f"{(f.request.label or f.request.dag.name)!r}: {f.error}" for f in failures[:5]
+            )
+            more = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
+            raise ReproError(f"{len(failures)}/{len(self.results)} compile jobs failed: {summary}{more}")
+        return self

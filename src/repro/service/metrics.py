@@ -1,0 +1,82 @@
+"""Per-engine request metrics: latency, throughput and cache effectiveness.
+
+The engine records one :class:`RequestTrace` per job into a bounded ring and
+keeps aggregate counters, so long-running services can expose hit rates and
+latency percentiles without unbounded memory growth.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """One completed compile job, as seen by the engine."""
+
+    label: str
+    fingerprint: str
+    source: str
+    seconds: float
+    ok: bool
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregate counters plus a bounded window of recent request traces."""
+
+    requests: int = 0
+    compiled: int = 0
+    served_from_cache: int = 0
+    deduplicated: int = 0
+    errors: int = 0
+    batches: int = 0
+    total_seconds: float = 0.0
+    recent: deque = field(default_factory=lambda: deque(maxlen=256))
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, trace: RequestTrace) -> None:
+        with self._lock:
+            self.requests += 1
+            self.total_seconds += trace.seconds
+            if not trace.ok:
+                self.errors += 1
+            elif trace.source in ("memory", "disk"):
+                self.served_from_cache += 1
+            elif trace.source == "deduplicated":
+                self.deduplicated += 1
+            else:
+                self.compiled += 1
+            self.recent.append(trace)
+
+    def record_batch(self) -> None:
+        with self._lock:
+            self.batches += 1
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.requests if self.requests else 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency percentile (0..1) over the recent-trace window."""
+        with self._lock:
+            latencies = sorted(trace.seconds for trace in self.recent)
+        if not latencies:
+            return 0.0
+        index = min(len(latencies) - 1, int(round(fraction * (len(latencies) - 1))))
+        return latencies[index]
+
+    def summary(self) -> dict[str, float | int]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "compiled": self.compiled,
+                "served_from_cache": self.served_from_cache,
+                "deduplicated": self.deduplicated,
+                "errors": self.errors,
+                "batches": self.batches,
+                "total_seconds": round(self.total_seconds, 6),
+                "mean_seconds": round(self.mean_seconds, 6),
+            }

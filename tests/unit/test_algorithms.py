@@ -5,9 +5,12 @@ import pytest
 
 from repro.algorithms import (
     ALGORITHM_NAMES,
+    algorithm_names,
     build_algorithm,
     build_synthetic_pipeline,
+    register_algorithm,
     table3,
+    unregister_algorithm,
 )
 from repro.algorithms.catalog import algorithm_info
 from repro.errors import DSLSemanticError, ReproError
@@ -56,6 +59,56 @@ class TestCatalog:
         dag = build_algorithm("xcorr-m")
         heights = [edge.window.height for edge in dag.edges()]
         assert max(heights) == 18
+
+
+class TestRegistration:
+    def test_register_and_build_custom_pipeline(self):
+        from tests.conftest import build_two_consumer
+
+        register_algorithm("custom-two-consumer", "registration test", build_two_consumer)
+        try:
+            info = algorithm_info("custom-two-consumer")
+            assert info.expected_stages == 4
+            assert info.expected_multi_consumer_stages == 1
+            dag = build_algorithm("custom-two-consumer")
+            assert len(dag) == info.expected_stages
+            assert "custom-two-consumer" in algorithm_names()
+        finally:
+            unregister_algorithm("custom-two-consumer")
+        assert "custom-two-consumer" not in algorithm_names()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ReproError):
+            register_algorithm("unsharp-m", "collides with a built-in", lambda: None)
+
+    def test_overwrite_allows_replacement(self):
+        from tests.conftest import build_chain, build_two_consumer
+
+        register_algorithm("custom-ovw", "first", build_chain)
+        try:
+            register_algorithm("custom-ovw", "second", build_two_consumer, overwrite=True)
+            assert algorithm_info("custom-ovw").description == "second"
+        finally:
+            unregister_algorithm("custom-ovw")
+
+    def test_registration_does_not_change_table3(self):
+        from tests.conftest import build_chain
+
+        before = table3()
+        register_algorithm("custom-t3", "must not appear in Table 3", build_chain)
+        try:
+            assert table3() == before
+        finally:
+            unregister_algorithm("custom-t3")
+
+    def test_unregister_unknown_name(self):
+        with pytest.raises(ReproError):
+            unregister_algorithm("never-registered")
+
+    def test_builtin_suite_cannot_be_unregistered(self):
+        with pytest.raises(ReproError, match="built-in"):
+            unregister_algorithm("unsharp-m")
+        assert "unsharp-m" in algorithm_names()
 
 
 class TestFunctionalBehaviour:

@@ -1,0 +1,191 @@
+"""Unit tests for the CompileEngine: caching, batching, dedup, DSE wiring."""
+
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.core.compiler import compile_pipeline
+from repro.core.scheduler import SchedulerOptions
+from repro.dse.sweep import sweep_memory_configurations
+from repro.errors import ReproError
+from repro.service import (
+    CompileCache,
+    CompileEngine,
+    CompileRequest,
+    CompileStatus,
+)
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain, build_paper_example
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+
+@pytest.fixture
+def engine():
+    engine = CompileEngine(workers=2)
+    yield engine
+    engine.shutdown()
+
+
+class TestSingleRequests:
+    def test_compile_matches_direct_compile_pipeline(self, engine):
+        dag = build_paper_example()
+        via_engine = engine.compile(dag, image_width=W, image_height=H)
+        direct = compile_pipeline(dag, image_width=W, image_height=H)
+        assert via_engine.schedule.start_cycles == direct.schedule.start_cycles
+        assert via_engine.schedule.total_allocated_bits == direct.schedule.total_allocated_bits
+
+    def test_second_compile_is_a_cache_hit(self, engine):
+        dag = build_paper_example()
+        first = engine.compile(dag, image_width=W, image_height=H)
+        second = engine.compile(build_paper_example(), image_width=W, image_height=H)
+        assert engine.cache.stats.hits == 1
+        assert engine.cache.stats.misses == 1
+        assert second.schedule is first.schedule
+        assert engine.metrics.served_from_cache == 1
+
+    def test_submit_reports_latency_and_source(self, engine):
+        result = engine.submit(
+            CompileRequest(dag=build_chain(3), image_width=W, image_height=H, label="chain")
+        )
+        assert result.ok
+        assert result.status is CompileStatus.OK
+        assert result.source == "solver"
+        assert result.seconds > 0
+        assert result.fingerprint
+        repeat = engine.submit(
+            CompileRequest(dag=build_chain(3), image_width=W, image_height=H)
+        )
+        assert repeat.source == "memory"
+        assert repeat.from_cache
+
+    def test_error_captured_not_raised(self, engine):
+        result = engine.submit(
+            CompileRequest(dag=build_chain(3), image_width=1, image_height=H)
+        )
+        assert not result.ok
+        assert result.status is CompileStatus.ERROR
+        assert "SchedulingError" in result.error
+        with pytest.raises(ReproError):
+            result.unwrap()
+        assert engine.metrics.errors == 1
+
+    def test_caller_options_not_mutated(self, engine):
+        options = SchedulerOptions()
+        engine.compile(
+            build_chain(3), image_width=W, image_height=H, options=options, coalescing=True
+        )
+        assert options.coalescing is False
+
+    def test_compile_pipeline_does_not_mutate_caller_options(self):
+        options = SchedulerOptions()
+        compile_pipeline(
+            build_chain(3), image_width=W, image_height=H, options=options, coalescing=True
+        )
+        assert options.coalescing is False
+
+    def test_coalescing_fallback_reuses_plain_solve(self, engine):
+        dag = build_paper_example()
+        engine.compile(dag, image_width=W, image_height=H)
+        assert engine.cache.stats.misses == 1
+        # The auto-policy +LC compile solves the coalesced ILP but takes the
+        # non-coalesced solve straight from the cache.
+        engine.compile(build_paper_example(), image_width=W, image_height=H, coalescing=True)
+        assert engine.cache.stats.hits == 1
+        assert engine.cache.stats.misses == 2
+
+
+class TestBatches:
+    def test_batch_preserves_order_and_dedupes(self, engine):
+        requests = [
+            CompileRequest(dag=build_chain(3), image_width=W, image_height=H, label="a"),
+            CompileRequest(dag=build_chain(4), image_width=W, image_height=H, label="b"),
+            CompileRequest(dag=build_chain(3), image_width=W, image_height=H, label="c"),
+        ]
+        batch = engine.submit_batch(requests)
+        assert [r.request.label for r in batch.results] == ["a", "b", "c"]
+        assert all(r.ok for r in batch.results)
+        sources = [r.source for r in batch.results]
+        assert sources.count("deduplicated") == 1
+        # Deduplicated twins share the identical accelerator.
+        assert batch.results[2].accelerator.schedule is batch.results[0].accelerator.schedule
+        assert engine.metrics.deduplicated == 1
+        assert batch.seconds > 0
+        assert batch.cache_stats is not None
+
+    def test_one_bad_design_point_does_not_kill_the_batch(self, engine):
+        requests = [
+            CompileRequest(dag=build_chain(3), image_width=W, image_height=H, label="good"),
+            CompileRequest(dag=build_chain(3), image_width=1, image_height=H, label="bad"),
+            CompileRequest(dag=build_chain(4), image_width=W, image_height=H, label="good2"),
+        ]
+        batch = engine.submit_batch(requests)
+        assert len(batch.ok_results) == 2
+        assert len(batch.failures) == 1
+        assert batch.failures[0].request.label == "bad"
+        with pytest.raises(ReproError, match="1/3"):
+            batch.raise_on_error()
+
+    def test_accelerators_helper_skips_failures(self, engine):
+        batch = engine.submit_batch(
+            [
+                CompileRequest(dag=build_chain(3), image_width=W, image_height=H),
+                CompileRequest(dag=build_chain(3), image_width=1, image_height=H),
+            ]
+        )
+        assert len(batch.accelerators) == 1
+
+
+class TestRepeatedCompilePipeline:
+    def test_compile_pipeline_with_cache_skips_second_solve(self):
+        """Acceptance: a repeated compile_pipeline call is served from cache."""
+        cache = CompileCache()
+        dag = build_paper_example()
+        first = compile_pipeline(dag, image_width=W, image_height=H, cache=cache)
+        hits_before = cache.stats.hits
+        second = compile_pipeline(dag, image_width=W, image_height=H, cache=cache)
+        assert cache.stats.hits == hits_before + 1
+        assert cache.stats.misses == 1  # only the first call solved the ILP
+        assert second.schedule is first.schedule
+        assert second.metadata["schedule_sources"] == ("memory",)
+
+
+class TestSweepIntegration:
+    def test_parallel_sweep_equals_serial_sweep(self, engine):
+        serial = sweep_memory_configurations(
+            build_algorithm("unsharp-m"), image_width=W, image_height=H
+        )
+        parallel = sweep_memory_configurations(
+            build_algorithm("unsharp-m"), image_width=W, image_height=H, engine=engine
+        )
+        assert [p.label for p in serial] == [p.label for p in parallel]
+        assert [p.area_mm2 for p in serial] == [p.area_mm2 for p in parallel]
+        assert [p.power_mw for p in serial] == [p.power_mw for p in parallel]
+        assert [p.configuration for p in serial] == [p.configuration for p in parallel]
+        # The all-DP design point was served from the baseline's cache entry.
+        assert engine.cache.stats.hits >= 1
+
+    def test_parallel_convenience_flag(self):
+        points = sweep_memory_configurations(
+            build_chain(3), image_width=W, image_height=H, parallel=2
+        )
+        serial = sweep_memory_configurations(build_chain(3), image_width=W, image_height=H)
+        assert [p.label for p in points] == [p.label for p in serial]
+        assert [p.area_mm2 for p in points] == [p.area_mm2 for p in serial]
+
+    def test_serial_sweep_reuses_baseline_compile(self):
+        """The all-DP point is the baseline accelerator, not a recompile."""
+        points = sweep_memory_configurations(
+            build_chain(3, stencil=3), image_width=W, image_height=H
+        )
+        all_dp = next(p for p in points if p.label == "all-DP")
+        # Baseline compiles with default options (auto policy), the sweep's
+        # other points use the explicit per-stage policy.
+        assert all_dp.accelerator.options.coalescing_policy == "auto"
+
+    def test_warm_engine_resweep_is_all_hits(self, engine):
+        dag = build_algorithm("unsharp-m")
+        sweep_memory_configurations(dag, image_width=W, image_height=H, engine=engine)
+        misses_before = engine.cache.stats.misses
+        again = sweep_memory_configurations(dag, image_width=W, image_height=H, engine=engine)
+        assert engine.cache.stats.misses == misses_before  # zero new ILP solves
+        assert all(p.area_mm2 > 0 for p in again)
