@@ -13,8 +13,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.algorithms import ALGORITHM_NAMES, build_algorithm
-from repro.baselines import generate_baseline
-from repro.core.compiler import compile_pipeline
+from repro.api import CompileTarget
+from repro.core.compiler import compile_target
 from repro.core.schedule import PipelineSchedule
 from repro.estimate.report import AcceleratorReport, accelerator_report
 from repro.service import CompileEngine
@@ -26,6 +26,21 @@ RES_1080P = (1920, 1080)
 GENERATORS = ("fixynn", "darkroom", "soda", "ours", "ours+lc")
 
 
+def design_target(generator: str, algorithm: str, width: int, height: int) -> CompileTarget:
+    """The :class:`CompileTarget` of one design point (generator x algorithm x resolution)."""
+    target = CompileTarget(
+        dag=build_algorithm(algorithm),
+        image_width=width,
+        image_height=height,
+        label=f"{algorithm}@{width}x{height}:{generator}",
+    )
+    if generator == "ours":
+        return target
+    if generator == "ours+lc":
+        return target.with_options(coalescing=True)
+    return target.with_generator(generator)
+
+
 def build_design(
     generator: str,
     algorithm: str,
@@ -34,21 +49,10 @@ def build_design(
     engine: CompileEngine | None = None,
 ) -> PipelineSchedule:
     """Build one design point (generator x algorithm x resolution)."""
-    dag = build_algorithm(algorithm)
-    if generator in ("ours", "ours+lc"):
-        coalescing = generator == "ours+lc"
-        if engine is not None:
-            return engine.compile(
-                dag,
-                image_width=width,
-                image_height=height,
-                coalescing=coalescing,
-                label=f"{algorithm}@{width}x{height}:{generator}",
-            ).schedule
-        return compile_pipeline(
-            dag, image_width=width, image_height=height, coalescing=coalescing
-        ).schedule
-    return generate_baseline(generator, dag, width, height)
+    target = design_target(generator, algorithm, width, height)
+    if engine is not None:
+        return engine.submit(target).unwrap().schedule
+    return compile_target(target).schedule
 
 
 def evaluate_all(
@@ -56,10 +60,11 @@ def evaluate_all(
 ) -> dict[str, dict[str, AcceleratorReport]]:
     """Evaluate every generator on every algorithm at one resolution.
 
-    The "ours" and "ours+lc" designs share one :class:`CompileEngine`: the
-    plain solve of the ``ours+lc`` auto-coalescing fallback is then a cache
-    hit on the schedule already compiled for ``ours``, which removes one ILP
-    solve per algorithm.
+    All five generators share one :class:`CompileEngine`: the plain solve of
+    the ``ours+lc`` auto-coalescing fallback is a cache hit on the schedule
+    already compiled for ``ours`` (one ILP solve saved per algorithm), and
+    baseline designs are content-addressed too, so any evaluation that
+    repeats a (generator, algorithm, resolution) point reuses it outright.
     """
     engine = engine or CompileEngine()
     results: dict[str, dict[str, AcceleratorReport]] = {}

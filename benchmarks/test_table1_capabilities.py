@@ -13,8 +13,9 @@ from __future__ import annotations
 import pytest
 
 from repro.algorithms import build_algorithm
-from repro.baselines import generate_baseline
+from repro.api import CompileTarget
 from repro.core.compiler import compile_pipeline
+from repro.core.scheduler import SchedulerOptions
 from repro.errors import ReproError
 from repro.memory.spec import asic_dual_port, asic_single_port
 
@@ -22,21 +23,17 @@ W, H = 480, 320
 
 
 def _can_generate(generator: str, algorithm: str, spec) -> bool:
-    dag = build_algorithm(algorithm)
+    target = CompileTarget(
+        dag=build_algorithm(algorithm),
+        image_width=W,
+        image_height=H,
+        memory_spec=spec,
+        options=SchedulerOptions(ports=spec.ports),
+    )
+    if generator != "ours":
+        target = target.with_generator(generator)
     try:
-        if generator == "ours":
-            ports = spec.ports
-            from repro.core.scheduler import SchedulerOptions
-
-            compile_pipeline(
-                dag,
-                image_width=W,
-                image_height=H,
-                memory_spec=spec,
-                options=SchedulerOptions(ports=ports),
-            )
-        else:
-            generate_baseline(generator, dag, W, H, spec)
+        compile_pipeline(target)
         return True
     except ReproError:
         return False

@@ -15,10 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import PipelineBuilder, compile_pipeline
+from repro import CompileTarget, PipelineBuilder, compile_pipeline
 from repro.algorithms import algorithm_info, build_algorithm, register_algorithm
-from repro.baselines import generate_baseline
-from repro.core.scheduler import SchedulerOptions
 from repro.dsl import ast
 from repro.dsl.builder import convolve, window_sum
 from repro.estimate.report import accelerator_report
@@ -73,24 +71,20 @@ def main() -> None:
     output = run_functional(dag, image).output()
     print(f"functional check: output range [{output.min():.1f}, {output.max():.1f}]\n")
 
+    # One base target, four derivations: every design style — including the
+    # SODA baseline — is just a differently-derived CompileTarget.
+    base = CompileTarget(dag, image_width=WIDTH, image_height=HEIGHT)
     print(f"{'memory spec':<22}{'generator':>10}{'blocks':>8}{'KB':>8}{'mW':>8}")
     candidates = [
-        ("dual-port SRAM", compile_pipeline(dag, image_width=WIDTH, image_height=HEIGHT).schedule),
-        (
-            "dual-port SRAM + LC",
-            compile_pipeline(dag, image_width=WIDTH, image_height=HEIGHT, coalescing=True).schedule,
-        ),
+        ("dual-port SRAM", compile_pipeline(base).schedule),
+        ("dual-port SRAM + LC", compile_pipeline(base.with_options(coalescing=True)).schedule),
         (
             "single-port SRAM",
             compile_pipeline(
-                dag,
-                image_width=WIDTH,
-                image_height=HEIGHT,
-                memory_spec=asic_single_port(),
-                options=SchedulerOptions(ports=1),
+                base.with_memory_spec(asic_single_port()).with_options(ports=1)
             ).schedule,
         ),
-        ("FIFOs (SODA style)", generate_baseline("soda", dag, WIDTH, HEIGHT)),
+        ("FIFOs (SODA style)", compile_pipeline(base.with_generator("soda")).schedule),
     ]
     for label, schedule in candidates:
         report = accelerator_report(schedule)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 
 from repro.algorithms import build_algorithm
+from repro.api import CompileTarget
 from repro.dse import pareto_front, sweep_memory_configurations
 from repro.service import CompileEngine
 
@@ -27,12 +28,12 @@ WIDTH, HEIGHT = 480, 320
 
 
 def main() -> None:
-    dag = build_algorithm("canny-m")
+    # The base target seeds the sweep: every explored configuration is a
+    # base.with_options(per_stage_coalescing=...) derivation of it.
+    base = CompileTarget(build_algorithm("canny-m"), image_width=WIDTH, image_height=HEIGHT)
     engine = CompileEngine(workers=4)
     started = time.perf_counter()
-    points = sweep_memory_configurations(
-        dag, image_width=WIDTH, image_height=HEIGHT, engine=engine
-    )
+    points = sweep_memory_configurations(base, engine=engine)
     elapsed = time.perf_counter() - started
     front = pareto_front(points, lambda p: (p.area_mm2, p.power_mw))
 
@@ -55,7 +56,7 @@ def main() -> None:
     # A repeated sweep is answered entirely from the cache: every design
     # point hits, and no ILP is solved a second time.
     started = time.perf_counter()
-    sweep_memory_configurations(dag, image_width=WIDTH, image_height=HEIGHT, engine=engine)
+    sweep_memory_configurations(base, engine=engine)
     print(
         f"\nwarm re-sweep: {time.perf_counter() - started:.3f}s "
         f"(hit rate now {engine.hit_rate:.0%})"

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro import compile_pipeline, parse_pipeline
+from repro import CompileTarget, compile_pipeline, parse_pipeline
 
 PAPER_EXAMPLE = """
 input K0;
@@ -33,7 +33,10 @@ def main() -> None:
     dag = parse_pipeline(PAPER_EXAMPLE, name="paper_example")
     print(dag.summary())
 
-    accelerator = compile_pipeline(dag, image_width=480, image_height=320)
+    # A CompileTarget is the unit of work everywhere in the library: the same
+    # object compiles directly, submits to a CompileEngine, or seeds a sweep.
+    target = CompileTarget(dag, image_width=480, image_height=320)
+    accelerator = compile_pipeline(target)
     print()
     print(accelerator.describe())
     print(f"\ncompile time: {accelerator.compile_seconds * 1000:.1f} ms")

@@ -14,9 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import compile_pipeline
+from repro import CompileEngine, CompileTarget
 from repro.algorithms import build_unsharp_m
-from repro.baselines import generate_baseline
 from repro.estimate.fpga import fpga_report
 from repro.memory.spec import spartan7_bram, spartan7_fpga
 from repro.sim.functional import run_functional
@@ -45,14 +44,22 @@ def main() -> None:
     fpga = spartan7_fpga()
     bram = spartan7_bram()
 
+    # All five design styles are derivations of one base CompileTarget, so
+    # they can go to the engine as a single batch: baselines and optimizer
+    # compiles fan out over the worker pool and share the same cache.
+    base = CompileTarget(dag, image_width=WIDTH, image_height=HEIGHT, memory_spec=bram)
+    targets = {
+        "fixynn": base.with_generator("fixynn").with_memory_spec(spartan7_bram(ports=1)),
+        "darkroom": base.with_generator("darkroom"),
+        "soda": base.with_generator("soda"),
+        "ours": base,
+        "ours+lc": base.with_options(coalescing=True),
+    }
+    with CompileEngine(workers=4) as engine:
+        batch = engine.submit_batch(list(targets.values())).raise_on_error()
     designs = {
-        "fixynn": generate_baseline("fixynn", dag, WIDTH, HEIGHT, spartan7_bram(ports=1)),
-        "darkroom": generate_baseline("darkroom", dag, WIDTH, HEIGHT, bram),
-        "soda": generate_baseline("soda", dag, WIDTH, HEIGHT, bram),
-        "ours": compile_pipeline(dag, image_width=WIDTH, image_height=HEIGHT, memory_spec=bram).schedule,
-        "ours+lc": compile_pipeline(
-            dag, image_width=WIDTH, image_height=HEIGHT, memory_spec=bram, coalescing=True
-        ).schedule,
+        name: result.accelerator.schedule
+        for name, result in zip(targets, batch.results)
     }
 
     print(f"Unsharp masking at {WIDTH}x{HEIGHT} on a {fpga.total_blocks}-BRAM Spartan-7\n")

@@ -2,18 +2,24 @@
 
 Public API
 ----------
+* :class:`repro.api.CompileTarget` — the unified, immutable compile request
+  (DAG + resolution + memory spec + options + generator) consumed by every
+  layer.
 * :func:`repro.dsl.parse_pipeline` / :class:`repro.dsl.PipelineBuilder` — describe pipelines.
-* :func:`repro.core.compile_pipeline` — compile a pipeline into an optimized accelerator.
+* :func:`repro.core.compile_pipeline` — compile a target into an optimized accelerator.
 * :func:`repro.baselines.generate_baseline` — Darkroom / SODA / FixyNN comparison designs.
 * :mod:`repro.sim` — cycle-level legality checks and functional simulation.
 * :mod:`repro.estimate` — ASIC area/power and FPGA BRAM models.
 * :mod:`repro.rtl` — Verilog generation.
 * :mod:`repro.algorithms` — the Table-3 algorithm suite.
-* :mod:`repro.dse` — design-space exploration (Fig. 10).
-* :mod:`repro.service` — compile cache + batch/parallel compilation engine.
+* :mod:`repro.dse` — design-space exploration (Fig. 10), via ``target.with_options(...)``.
+* :mod:`repro.service` — compile cache + batch/parallel engine with sync and
+  asyncio serving fronts.
 """
 
-from repro.core.compiler import CompiledAccelerator, compile_pipeline
+from repro.api.fingerprint import compile_fingerprint, dag_fingerprint
+from repro.api.target import CompileTarget
+from repro.core.compiler import CompiledAccelerator, compile_pipeline, compile_target
 from repro.core.scheduler import SchedulerOptions, schedule_pipeline
 from repro.core.schedule import PipelineSchedule
 from repro.dsl.builder import PipelineBuilder
@@ -36,11 +42,15 @@ from repro.service import (
     DiskCacheStore,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CompileTarget",
     "CompiledAccelerator",
     "compile_pipeline",
+    "compile_target",
+    "compile_fingerprint",
+    "dag_fingerprint",
     "SchedulerOptions",
     "schedule_pipeline",
     "PipelineSchedule",

@@ -1,0 +1,117 @@
+"""Content-addressed fingerprints for compile targets.
+
+The compile cache (:mod:`repro.service.cache`) is keyed by a stable hash of
+everything a generator's output depends on: the pipeline graph, the image
+resolution, the memory specification, the generator name, and — for the
+ImaGen optimizer — the scheduler options.  Two targets with the same
+fingerprint are guaranteed to produce the same design, so the second one can
+be served from cache without running the generator again.
+
+Normalization rules
+-------------------
+* The DAG is hashed through :meth:`repro.ir.dag.PipelineDAG.canonical_form`,
+  which is invariant to stage/edge insertion order and to the pipeline's
+  display name.
+* ``SchedulerOptions.coalescing_policy`` and ``per_stage_coalescing`` only
+  influence the schedule when ``coalescing`` is enabled, so they are dropped
+  from the fingerprint when it is off.  This is what lets the all-DP design
+  point of a DSE sweep (``coalescing=False, policy="all"``) hit the cache
+  entry written by a plain baseline compile (``policy="auto"``).
+* The generator name is fingerprinted only when it is not ``"imagen"``, so
+  digests of optimizer requests are stable across library versions that
+  predate generator-aware fingerprints (existing disk caches stay valid).
+* Baseline generators (Darkroom/SODA/FixyNN) ignore scheduler options, so
+  options are dropped entirely from their fingerprints — a baseline design is
+  cacheable regardless of what options the request happened to carry.
+* Everything is serialized to JSON with sorted keys before hashing, so dict
+  ordering never leaks into the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+
+from repro.api.target import IMAGEN_GENERATOR, CompileTarget
+from repro.core.scheduler import SchedulerOptions
+from repro.ir.dag import PipelineDAG
+from repro.memory.spec import MemorySpec
+
+#: Bump when the canonical serialization or the scheduler semantics change in
+#: a way that invalidates previously persisted cache entries.
+FINGERPRINT_VERSION = 1
+
+
+def normalize_options(options: SchedulerOptions) -> dict:
+    """Reduce scheduler options to the fields that can change the schedule."""
+    data = {
+        "ports": options.ports,
+        "coalescing": options.coalescing,
+        "pruning": options.pruning,
+        "disjunction_strategy": options.disjunction_strategy,
+        "backend": options.backend,
+        "max_subproblems": options.max_subproblems,
+    }
+    if options.coalescing:
+        data["coalescing_policy"] = options.coalescing_policy
+        data["per_stage_coalescing"] = sorted(options.per_stage_coalescing.items())
+    return data
+
+
+def normalize_memory_spec(spec: MemorySpec) -> dict:
+    """Flatten a memory spec into plain JSON-serializable fields."""
+    return asdict(spec)
+
+
+def _digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def dag_fingerprint(dag: PipelineDAG) -> str:
+    """Stable hash of the pipeline structure alone."""
+    return _digest({"version": FINGERPRINT_VERSION, "dag": dag.canonical_form()})
+
+
+def compile_fingerprint(
+    target: CompileTarget | PipelineDAG,
+    image_width: int | None = None,
+    image_height: int | None = None,
+    memory_spec: MemorySpec | None = None,
+    options: SchedulerOptions | None = None,
+    *,
+    generator: str = IMAGEN_GENERATOR,
+) -> str:
+    """Stable hash of one complete compile target.
+
+    The preferred form is ``compile_fingerprint(target)`` with a
+    :class:`CompileTarget`; the loose positional form
+    ``(dag, width, height, spec, options)`` is kept for callers that predate
+    the unified request object.
+    """
+    if isinstance(target, CompileTarget):
+        dag = target.dag
+        image_width, image_height = target.image_width, target.image_height
+        memory_spec, options, generator = target.memory_spec, target.options, target.generator
+    else:
+        dag = target
+        if image_width is None or image_height is None or memory_spec is None or options is None:
+            raise TypeError(
+                "compile_fingerprint needs a CompileTarget or explicit "
+                "(dag, image_width, image_height, memory_spec, options)"
+            )
+    payload = {
+        "version": FINGERPRINT_VERSION,
+        "dag": dag.canonical_form(),
+        "resolution": [image_width, image_height],
+        "memory_spec": normalize_memory_spec(memory_spec),
+    }
+    if generator == IMAGEN_GENERATOR:
+        payload["options"] = normalize_options(options)
+    else:
+        # Baseline generators ignore scheduler options: fingerprinting the
+        # generator name alone keeps their designs cacheable across requests
+        # that differ only in optimizer knobs.
+        payload["generator"] = generator
+    return _digest(payload)

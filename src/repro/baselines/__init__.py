@@ -12,13 +12,19 @@ artifact as the ImaGen optimizer, so simulators and estimators treat all
 designs uniformly.
 """
 
-from repro.baselines.base import BaselineGenerator, generate_baseline, BASELINE_NAMES
+from repro.baselines.base import (
+    BASELINE_NAMES,
+    BaselineGenerator,
+    baseline_generator,
+    generate_baseline,
+)
 from repro.baselines.darkroom import DarkroomGenerator, linearize_dag
 from repro.baselines.soda import SodaGenerator
 from repro.baselines.fixynn import FixynnGenerator
 
 __all__ = [
     "BaselineGenerator",
+    "baseline_generator",
     "generate_baseline",
     "BASELINE_NAMES",
     "DarkroomGenerator",

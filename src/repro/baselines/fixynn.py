@@ -33,7 +33,13 @@ class FixynnGenerator(BaselineGenerator):
     ) -> PipelineSchedule:
         if memory_spec is None:
             memory_spec = asic_single_port()
-        else:
+        elif (
+            memory_spec.ports != 1
+            or memory_spec.allow_coalescing
+            or memory_spec.style != "sram"
+        ):
+            # Adapt, but idempotently: a spec already in FixyNN form (e.g. the
+            # asic_single_port preset) is used as-is, without renaming.
             memory_spec = replace(
                 memory_spec,
                 name=f"{memory_spec.name}-sp",

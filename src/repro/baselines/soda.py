@@ -43,12 +43,15 @@ class SodaGenerator(BaselineGenerator):
                     "SODA implements line buffers as FIFOs, which require dual-port "
                     f"memory blocks; the supplied spec has {memory_spec.ports} port(s)"
                 )
-            memory_spec = replace(
-                memory_spec,
-                name=f"{memory_spec.name}-fifo",
-                style="fifo",
-                allow_coalescing=False,
-            )
+            if memory_spec.style != "fifo" or memory_spec.allow_coalescing:
+                # Adapt, but idempotently: a spec already in FIFO form (e.g.
+                # the asic_fifo preset) is used as-is, without renaming.
+                memory_spec = replace(
+                    memory_spec,
+                    name=f"{memory_spec.name}-fifo",
+                    style="fifo",
+                    allow_coalescing=False,
+                )
 
         starts = self.asap_schedule(dag, image_width)
         line_buffers = {}

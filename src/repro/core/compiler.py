@@ -1,20 +1,40 @@
 """Top-level compiler facade (paper Fig. 5).
 
-:func:`compile_pipeline` ties the framework together: DSL/DAG in, optimized
-schedule + line-buffer configuration out, with hooks to generate Verilog and
-area/power reports.  This is the primary public API of the library.
+:func:`compile_pipeline` ties the framework together: it takes one
+:class:`repro.api.CompileTarget` — pipeline DAG, resolution, memory spec,
+scheduler options and generator name — and returns a
+:class:`CompiledAccelerator` with hooks to generate Verilog and area/power
+reports.  The target's ``generator`` selects the design style: ``"imagen"``
+runs the ILP optimizer (with the optional line-coalescing fallback), any
+baseline name (``"darkroom"``, ``"soda"``, ``"fixynn"``) runs that comparison
+generator through the same cache, so baseline designs are content-addressed
+and reusable exactly like optimized ones.
+
+The historical loose-kwarg form ``compile_pipeline(dag, image_width=...,
+...)`` still works but emits a :class:`DeprecationWarning`; it builds a
+``CompileTarget`` internally and forwards.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from dataclasses import replace as dc_replace
 from typing import Any
 
+from typing import TYPE_CHECKING
+
 from repro.core.schedule import PipelineSchedule
 from repro.core.scheduler import SchedulerOptions, schedule_pipeline
 from repro.ir.dag import PipelineDAG
-from repro.memory.spec import MemorySpec, asic_dual_port
+from repro.memory.spec import MemorySpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.api.target import CompileTarget
+
+# `repro.api` imports `repro.core.scheduler`, which triggers this package's
+# __init__ (and thus this module) first — so api imports here must happen
+# lazily, after both packages finish initializing.
 
 
 @dataclass
@@ -24,6 +44,7 @@ class CompiledAccelerator:
     schedule: PipelineSchedule
     options: SchedulerOptions
     metadata: dict[str, Any] = field(default_factory=dict)
+    target: CompileTarget | None = None
 
     @property
     def dag(self) -> PipelineDAG:
@@ -32,6 +53,12 @@ class CompiledAccelerator:
     @property
     def compile_seconds(self) -> float:
         return float(self.schedule.solver_stats.get("compile_seconds", 0.0))
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the request that produced this design."""
+        fingerprints = self.metadata.get("schedule_fingerprints", ())
+        return fingerprints[0] if fingerprints else ""
 
     # ----------------------------------------------------------------- RTL
     def generate_verilog(self) -> str:
@@ -64,83 +91,51 @@ class CompiledAccelerator:
 
 
 def _schedule_cached(
-    dag: PipelineDAG,
-    image_width: int,
-    image_height: int,
-    memory_spec: MemorySpec,
-    options: SchedulerOptions,
-    cache: Any | None,
-) -> tuple[PipelineSchedule, str]:
-    """Solve one schedule request, consulting a compile cache when given.
+    target: CompileTarget, cache: Any | None
+) -> tuple[PipelineSchedule, str, str]:
+    """Solve one ImaGen schedule target, consulting a compile cache when given.
 
-    Returns the schedule and its source: ``"memory"``/``"disk"`` for cache
+    Returns the schedule, its source — ``"memory"``/``"disk"`` for cache
     tiers, ``"solver"`` for a fresh ILP solve (which is then recorded in the
-    cache).
+    cache) — and its content fingerprint.
     """
     if cache is None:
-        return schedule_pipeline(dag, image_width, image_height, memory_spec, options), "solver"
-    schedule, source, fingerprint = cache.fetch(
-        dag, image_width, image_height, memory_spec, options
-    )
+        schedule = schedule_pipeline(
+            target.dag,
+            target.image_width,
+            target.image_height,
+            target.memory_spec,
+            target.options,
+        )
+        return schedule, "solver", target.fingerprint
+    schedule, source, fingerprint = cache.fetch(target)
     if schedule is None:
-        schedule = schedule_pipeline(dag, image_width, image_height, memory_spec, options)
+        schedule = schedule_pipeline(
+            target.dag,
+            target.image_width,
+            target.image_height,
+            target.memory_spec,
+            target.options,
+        )
         cache.put(fingerprint, schedule)
-    return schedule, source
+    return schedule, source, fingerprint
 
 
-def compile_pipeline(
-    dag: PipelineDAG,
-    *,
-    image_width: int,
-    image_height: int,
-    memory_spec: MemorySpec | None = None,
-    coalescing: bool = False,
-    options: SchedulerOptions | None = None,
-    cache: Any | None = None,
-) -> CompiledAccelerator:
-    """Compile a pipeline DAG into a line-buffered accelerator design.
-
-    Parameters
-    ----------
-    dag:
-        The pipeline, from :func:`repro.dsl.parse_pipeline` or
-        :class:`repro.dsl.PipelineBuilder`.
-    image_width, image_height:
-        Input image resolution (e.g. 480x320 or 1920x1080).
-    memory_spec:
-        The on-chip memory structure available; defaults to dual-port ASIC
-        SRAM macros (:func:`repro.memory.spec.asic_dual_port`).
-    coalescing:
-        Enable the line-coalescing optimization (Ours+LC in the paper).
-    options:
-        Full :class:`SchedulerOptions`; ``coalescing`` overrides its field
-        when both are given.
-    cache:
-        Optional :class:`repro.service.cache.CompileCache`.  Every ILP solve
-        — including both solves of the auto-coalescing fallback — is first
-        looked up by content fingerprint and recorded on a miss, so repeated
-        requests never re-run the solver.  The sources consulted are recorded
-        in the returned accelerator's ``metadata["schedule_sources"]``.
-    """
-    memory_spec = memory_spec or asic_dual_port()
-    options = options or SchedulerOptions()
-    if coalescing and not options.coalescing:
-        # Override on a copy: the caller's options object stays untouched.
-        options = dc_replace(options, coalescing=True)
-    schedule, source = _schedule_cached(
-        dag, image_width, image_height, memory_spec, options, cache
-    )
+def _compile_imagen(target: CompileTarget, cache: Any | None) -> CompiledAccelerator:
+    """The ImaGen ILP path, including the auto-coalescing fallback."""
+    options = target.options
+    schedule, source, fingerprint = _schedule_cached(target, cache)
     sources = [source]
+    fingerprints = [fingerprint]
 
     if options.coalescing and options.coalescing_policy == "auto":
         # Coalescing interacts with downstream buffer sizes through the extra
         # writer-separation constraints; like any compiler optimization it is
         # only kept when it actually reduces the allocated on-chip memory.
-        plain_options = dc_replace(options, coalescing=False)
-        plain, plain_source = _schedule_cached(
-            dag, image_width, image_height, memory_spec, plain_options, cache
-        )
+        plain_target = target.with_options(coalescing=False)
+        plain, plain_source, plain_fingerprint = _schedule_cached(plain_target, cache)
         sources.append(plain_source)
+        fingerprints.append(plain_fingerprint)
         if plain.total_allocated_bits < schedule.total_allocated_bits or (
             plain.total_allocated_bits == schedule.total_allocated_bits
             and plain.total_blocks < schedule.total_blocks
@@ -156,5 +151,120 @@ def compile_pipeline(
     return CompiledAccelerator(
         schedule=schedule,
         options=options,
-        metadata={"schedule_sources": tuple(sources)},
+        metadata={
+            "schedule_sources": tuple(sources),
+            "schedule_fingerprints": tuple(fingerprints),
+        },
+        target=target,
     )
+
+
+def _compile_baseline(target: CompileTarget, cache: Any | None) -> CompiledAccelerator:
+    """Run a baseline generator (Darkroom/SODA/FixyNN) through the cache."""
+    from repro.baselines.base import baseline_generator
+
+    generator = baseline_generator(target.generator)  # raises BaselineError early
+    if cache is None:
+        schedule = generator.generate(
+            target.dag, target.image_width, target.image_height, target.memory_spec
+        )
+        source, fingerprint = "solver", target.fingerprint
+    else:
+        schedule, source, fingerprint = cache.fetch(target)
+        if schedule is None:
+            schedule = generator.generate(
+                target.dag, target.image_width, target.image_height, target.memory_spec
+            )
+            cache.put(fingerprint, schedule)
+    return CompiledAccelerator(
+        schedule=schedule,
+        options=target.options,
+        metadata={
+            "schedule_sources": (source,),
+            "schedule_fingerprints": (fingerprint,),
+        },
+        target=target,
+    )
+
+
+def compile_target(target: CompileTarget, *, cache: Any | None = None) -> CompiledAccelerator:
+    """Compile one :class:`CompileTarget` into an accelerator design.
+
+    Dispatches on ``target.generator``: ``"imagen"`` solves the scheduling
+    ILP, a baseline name runs that generator.  Both paths consult the same
+    ``cache`` (a :class:`repro.service.cache.CompileCache`) by content
+    fingerprint, and both record, in the returned accelerator's metadata, the
+    ``schedule_sources`` consulted and the matching ``schedule_fingerprints``
+    so callers can correlate results with cache entries.
+    """
+    if target.is_imagen:
+        return _compile_imagen(target, cache)
+    return _compile_baseline(target, cache)
+
+
+def compile_pipeline(
+    pipeline: CompileTarget | PipelineDAG,
+    *,
+    image_width: int | None = None,
+    image_height: int | None = None,
+    memory_spec: MemorySpec | None = None,
+    coalescing: bool = False,
+    options: SchedulerOptions | None = None,
+    cache: Any | None = None,
+) -> CompiledAccelerator:
+    """Compile a pipeline into a line-buffered accelerator design.
+
+    The primary form takes a :class:`repro.api.CompileTarget`::
+
+        target = CompileTarget(dag, image_width=480, image_height=320)
+        acc = compile_pipeline(target)
+        lc = compile_pipeline(target.with_options(coalescing=True))
+
+    Parameters
+    ----------
+    pipeline:
+        A :class:`CompileTarget` (preferred).  Passing a raw
+        :class:`PipelineDAG` with the loose ``image_width=...`` keyword form
+        is deprecated: it builds a target internally and emits a
+        :class:`DeprecationWarning`.
+    cache:
+        Optional :class:`repro.service.cache.CompileCache`.  Every generator
+        run — including both solves of the auto-coalescing fallback — is
+        first looked up by content fingerprint and recorded on a miss, so
+        repeated requests never re-run a generator.  The sources consulted
+        and their fingerprints are recorded in the returned accelerator's
+        ``metadata["schedule_sources"]`` / ``metadata["schedule_fingerprints"]``.
+    """
+    from repro.api.target import CompileTarget
+
+    if isinstance(pipeline, CompileTarget):
+        if (
+            image_width is not None
+            or image_height is not None
+            or memory_spec is not None
+            or options is not None
+            or coalescing
+        ):
+            raise TypeError(
+                "compile_pipeline(target) takes no compile kwargs; derive the "
+                "target instead (target.with_options(...), .with_resolution(...))"
+            )
+        return compile_target(pipeline, cache=cache)
+
+    warnings.warn(
+        "compile_pipeline(dag, image_width=..., ...) is deprecated; build a "
+        "repro.api.CompileTarget and call compile_pipeline(target)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if image_width is None or image_height is None:
+        raise TypeError("compile_pipeline requires image_width and image_height")
+    target = CompileTarget.from_kwargs(
+        pipeline,
+        image_width=image_width,
+        image_height=image_height,
+        memory_spec=memory_spec,
+        options=options,
+        coalescing=coalescing,
+    )
+    return compile_target(target, cache=cache)

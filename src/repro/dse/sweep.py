@@ -11,12 +11,16 @@ line slots and a block large enough for two lines) are swept; the rest are
 fixed to DP, which keeps the sweep size at ``2^k`` for the ``k`` buffers that
 matter — the paper's example of four configurable stages giving 16 designs.
 
-The baseline compile that discovers the configurable buffers doubles as the
-all-DP design point, so it is never solved twice.  Passing an
-``engine`` (or ``parallel=N``) routes every configuration through a
-:class:`repro.service.engine.CompileEngine`: designs compile concurrently,
-failures are captured per point instead of aborting the sweep, and the all-DP
-configuration is served from the cache entry the baseline compile warmed.
+The sweep is expressed in the unified request API: from one base
+:class:`repro.api.CompileTarget` it derives each configuration as a
+``base.with_options(...)`` target, so every design point carries the base
+target's memory spec and scheduler knobs.  The baseline compile that
+discovers the configurable buffers doubles as the all-DP design point, so it
+is never solved twice.  Passing an ``engine`` (or ``parallel=N``) routes every
+configuration through a :class:`repro.service.engine.CompileEngine`: designs
+compile concurrently, failures are captured per point instead of aborting the
+sweep, and the all-DP configuration is served from the cache entry the
+baseline compile warmed.
 """
 
 from __future__ import annotations
@@ -24,13 +28,13 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from repro.core.compiler import CompiledAccelerator, compile_pipeline
-from repro.core.scheduler import SchedulerOptions
+from repro.api.target import CompileTarget
+from repro.core.compiler import CompiledAccelerator, compile_target
 from repro.errors import ReproError
 from repro.estimate.report import AcceleratorReport, accelerator_report
 from repro.estimate.sram_model import SramTechModel
 from repro.ir.dag import PipelineDAG
-from repro.memory.spec import MemorySpec, asic_dual_port
+from repro.memory.spec import MemorySpec
 
 
 @dataclass
@@ -57,11 +61,7 @@ class DesignPoint:
 
 
 def _configurable_buffers(
-    dag: PipelineDAG,
-    image_width: int,
-    image_height: int,
-    memory_spec: MemorySpec,
-    engine=None,
+    base: CompileTarget, engine=None
 ) -> tuple[CompiledAccelerator, list[str]]:
     """Compile the baseline design and list buffers whose DP/DPLC choice matters.
 
@@ -69,19 +69,18 @@ def _configurable_buffers(
     names so the caller can reuse it as the all-DP design point instead of
     compiling the identical configuration a second time.
     """
+    # Coalescing off regardless of the base options: the baseline must BE the
+    # all-DP design (and expose the uncoalesced line buffers the DP/DPLC
+    # choice applies to).  Its fingerprint then equals the derived all-DP
+    # configuration's, which is what lets the engine path reuse it.
+    baseline_target = base.with_options(coalescing=False).with_label(
+        f"{base.dag.name}:baseline"
+    )
     if engine is not None:
-        baseline = engine.compile(
-            dag,
-            image_width=image_width,
-            image_height=image_height,
-            memory_spec=memory_spec,
-            label=f"{dag.name}:baseline",
-        )
+        baseline = engine.submit(baseline_target).unwrap()
     else:
-        baseline = compile_pipeline(
-            dag, image_width=image_width, image_height=image_height, memory_spec=memory_spec
-        )
-    if memory_spec.coalescing_factor(image_width) <= 1:
+        baseline = compile_target(baseline_target)
+    if base.memory_spec.coalescing_factor(base.image_width) <= 1:
         return baseline, []
     configurable = [
         producer
@@ -91,14 +90,15 @@ def _configurable_buffers(
     return baseline, configurable
 
 
-def _design_options(configuration: dict[str, str]) -> SchedulerOptions:
+def _design_target(base: CompileTarget, configuration: dict[str, str]) -> CompileTarget:
+    """Derive the target for one DP/DPLC configuration from the base target."""
     coalesce_any = any(choice == "DPLC" for choice in configuration.values())
     per_stage = {name: (choice == "DPLC") for name, choice in configuration.items()}
-    return SchedulerOptions(
+    return base.with_options(
         coalescing=coalesce_any,
         coalescing_policy="all",
         per_stage_coalescing=per_stage,
-    )
+    ).with_label(f"{base.dag.name}:{_design_label(configuration)}")
 
 
 def _design_label(configuration: dict[str, str]) -> str:
@@ -108,10 +108,10 @@ def _design_label(configuration: dict[str, str]) -> str:
 
 
 def sweep_memory_configurations(
-    dag: PipelineDAG,
+    pipeline: CompileTarget | PipelineDAG,
     *,
-    image_width: int,
-    image_height: int,
+    image_width: int | None = None,
+    image_height: int | None = None,
     memory_spec: MemorySpec | None = None,
     tech: SramTechModel | None = None,
     max_designs: int = 1024,
@@ -127,6 +127,11 @@ def sweep_memory_configurations(
 
     Parameters
     ----------
+    pipeline:
+        The base design point: a :class:`repro.api.CompileTarget` (preferred;
+        its memory spec and scheduler options seed every derived
+        configuration) or a raw :class:`PipelineDAG` together with
+        ``image_width``/``image_height``/``memory_spec`` keywords.
     engine:
         Optional :class:`repro.service.engine.CompileEngine`.  All ``2^k``
         configurations are submitted as one batch: compiles run on the
@@ -138,7 +143,30 @@ def sweep_memory_configurations(
         Convenience: ``parallel=N`` builds a throwaway engine with ``N``
         workers for this sweep (ignored when ``engine`` is given).
     """
-    memory_spec = memory_spec or asic_dual_port()
+    if isinstance(pipeline, CompileTarget):
+        if image_width is not None or image_height is not None or memory_spec is not None:
+            raise TypeError(
+                "sweep_memory_configurations(target) takes no resolution/spec "
+                "kwargs; derive the target instead"
+            )
+        base = pipeline
+    else:
+        if image_width is None or image_height is None:
+            raise TypeError(
+                "sweep_memory_configurations requires image_width and image_height"
+            )
+        base = CompileTarget(
+            dag=pipeline,
+            image_width=image_width,
+            image_height=image_height,
+            memory_spec=memory_spec,
+        )
+    if not base.is_imagen:
+        raise ReproError(
+            f"The DP/DPLC sweep only applies to the ImaGen optimizer; got "
+            f"generator={base.generator!r}"
+        )
+
     own_engine = False
     if engine is None and parallel:
         from repro.service.engine import CompileEngine
@@ -146,9 +174,7 @@ def sweep_memory_configurations(
         engine = CompileEngine(workers=parallel)
         own_engine = True
     try:
-        baseline, configurable = _configurable_buffers(
-            dag, image_width, image_height, memory_spec, engine
-        )
+        baseline, configurable = _configurable_buffers(base, engine)
         num_designs = 2 ** len(configurable)
         if num_designs > max_designs:
             raise ReproError(
@@ -161,13 +187,9 @@ def sweep_memory_configurations(
             for choices in itertools.product(("DP", "DPLC"), repeat=len(configurable))
         ]
         if engine is not None:
-            compiled = _compile_with_engine(
-                dag, image_width, image_height, memory_spec, configurations, engine
-            )
+            compiled = _compile_with_engine(base, configurations, engine)
         else:
-            compiled = _compile_serially(
-                dag, image_width, image_height, memory_spec, configurations, baseline
-            )
+            compiled = _compile_serially(base, configurations, baseline)
 
         points: list[DesignPoint] = []
         for configuration, accelerator, metadata in compiled:
@@ -188,10 +210,7 @@ def sweep_memory_configurations(
 
 
 def _compile_serially(
-    dag: PipelineDAG,
-    image_width: int,
-    image_height: int,
-    memory_spec: MemorySpec,
+    base: CompileTarget,
     configurations: list[dict[str, str]],
     baseline: CompiledAccelerator,
 ):
@@ -201,39 +220,18 @@ def _compile_serially(
             # The baseline compile *is* the all-DP design; reuse it.
             compiled.append((configuration, baseline, {}))
             continue
-        accelerator = compile_pipeline(
-            dag,
-            image_width=image_width,
-            image_height=image_height,
-            memory_spec=memory_spec,
-            options=_design_options(configuration),
-        )
+        accelerator = compile_target(_design_target(base, configuration))
         compiled.append((configuration, accelerator, {}))
     return compiled
 
 
 def _compile_with_engine(
-    dag: PipelineDAG,
-    image_width: int,
-    image_height: int,
-    memory_spec: MemorySpec,
+    base: CompileTarget,
     configurations: list[dict[str, str]],
     engine,
 ):
-    from repro.service.jobs import CompileRequest
-
-    requests = [
-        CompileRequest(
-            dag=dag,
-            image_width=image_width,
-            image_height=image_height,
-            memory_spec=memory_spec,
-            options=_design_options(configuration),
-            label=f"{dag.name}:{_design_label(configuration)}",
-        )
-        for configuration in configurations
-    ]
-    batch = engine.submit_batch(requests)
+    targets = [_design_target(base, configuration) for configuration in configurations]
+    batch = engine.submit_batch(targets)
     compiled = []
     for configuration, result in zip(configurations, batch.results):
         if not result.ok:

@@ -1,25 +1,38 @@
 """Compilation service layer: content-addressed caching and batch execution.
 
-This package turns the one-shot :func:`repro.core.compile_pipeline` facade
-into a serving subsystem (the ROADMAP's "heavy traffic" direction):
+This package turns :func:`repro.core.compile_pipeline` into a serving
+subsystem (the ROADMAP's "heavy traffic" direction).  Its unit of work is the
+unified :class:`repro.api.CompileTarget` request object:
 
-* :mod:`repro.service.fingerprint` — stable content hashes of compile requests;
-* :mod:`repro.service.cache` — two-tier (LRU + disk) schedule cache;
-* :mod:`repro.service.jobs` — typed request/result/batch records;
+* :mod:`repro.service.cache` — two-tier (LRU + sharded disk) schedule cache;
+* :mod:`repro.service.jobs` — typed result/batch records (and the legacy
+  :class:`CompileRequest`, kept as a deprecated shim);
 * :mod:`repro.service.metrics` — per-request latency and hit-rate metrics;
-* :mod:`repro.service.engine` — the :class:`CompileEngine` front door.
+* :mod:`repro.service.engine` — the :class:`CompileEngine` front door, with
+  synchronous (``submit``/``submit_batch``) and asyncio
+  (``submit_async``/``submit_batch_async``) serving fronts.
+
+Fingerprinting lives in :mod:`repro.api.fingerprint`;
+``repro.service.fingerprint`` re-exports it for compatibility.
 
 Quickstart::
 
-    from repro import CompileEngine
+    from repro import CompileEngine, CompileTarget
     from repro.algorithms import build_algorithm
 
+    target = CompileTarget(build_algorithm("unsharp-m"), image_width=480, image_height=320)
     engine = CompileEngine(workers=4, cache_dir=".imagen-cache")
-    acc = engine.compile(build_algorithm("unsharp-m"), image_width=480, image_height=320)
-    acc = engine.compile(build_algorithm("unsharp-m"), image_width=480, image_height=320)
-    assert engine.cache.stats.hits >= 1  # second call never touched the solver
+    acc = engine.compile(target)
+    acc = engine.compile(target)
+    assert engine.cache.stats.hits >= 1  # second call never touched a solver
 """
 
+from repro.api.fingerprint import (
+    FINGERPRINT_VERSION,
+    compile_fingerprint,
+    dag_fingerprint,
+)
+from repro.api.target import CompileTarget
 from repro.service.cache import (
     CacheStats,
     CompileCache,
@@ -27,12 +40,7 @@ from repro.service.cache import (
     deserialize_schedule,
     serialize_schedule,
 )
-from repro.service.engine import CompileEngine, default_worker_count
-from repro.service.fingerprint import (
-    FINGERPRINT_VERSION,
-    compile_fingerprint,
-    dag_fingerprint,
-)
+from repro.service.engine import WORKERS_ENV_VAR, CompileEngine, default_worker_count
 from repro.service.jobs import (
     BatchResult,
     CompileRequest,
@@ -49,10 +57,12 @@ __all__ = [
     "CompileRequest",
     "CompileResult",
     "CompileStatus",
+    "CompileTarget",
     "DiskCacheStore",
     "EngineMetrics",
     "FINGERPRINT_VERSION",
     "RequestTrace",
+    "WORKERS_ENV_VAR",
     "compile_fingerprint",
     "dag_fingerprint",
     "default_worker_count",

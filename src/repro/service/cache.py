@@ -1,20 +1,27 @@
 """Two-tier compile cache: in-memory LRU backed by an optional disk store.
 
 The cache's unit of storage is a solved :class:`PipelineSchedule`, keyed by
-the content fingerprint of the request that produced it
-(:func:`repro.service.fingerprint.compile_fingerprint`).  Caching at schedule
+the content fingerprint of the :class:`repro.api.CompileTarget` that produced
+it (:func:`repro.api.fingerprint.compile_fingerprint`).  Caching at schedule
 granularity (rather than whole :class:`CompiledAccelerator` objects) means the
 two ILP solves of ``compile_pipeline``'s auto-coalescing fallback each get
 their own entry, so a later plain compile of the same pipeline reuses the
 fallback's non-coalesced solve.
 
-Disk entries hold only the solver's decisions (start cycles and coalescing
-factors) plus the request geometry; the physical line-buffer configurations
-are re-derived on load through
+Fingerprints are generator-aware, so baseline designs (Darkroom/SODA/FixyNN)
+are cached exactly like optimized ones — but only in the memory tier: disk
+entries hold just the solver's decisions (start cycles and coalescing factors)
+plus the request geometry, and the physical line-buffer configurations are
+re-derived on load through
 :func:`repro.core.scheduler.realize_line_buffers`, which is a pure function of
-those decisions.  A round-tripped schedule therefore produces bit-identical
-area and power reports.  Only ImaGen-generated schedules are ever stored, so
-the re-derivation is always valid.
+those decisions *for ImaGen-generated schedules only* (baselines use FIFO
+chains, dummy relay stages and other structures that do not round-trip).  A
+round-tripped ImaGen schedule produces bit-identical area and power reports.
+
+The disk store shards entries into two-hex-char fingerprint-prefix
+subdirectories (``ab/abcd....json``) so large shared cache volumes never hit
+flat-directory limits; entries written by pre-sharding versions of the
+library are still found at their legacy flat paths.
 """
 
 from __future__ import annotations
@@ -26,11 +33,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro.api.target import CompileTarget
 from repro.core.schedule import PipelineSchedule
-from repro.core.scheduler import SchedulerOptions, realize_line_buffers
+from repro.core.scheduler import realize_line_buffers
 from repro.ir.dag import PipelineDAG
 from repro.memory.spec import MemorySpec
-from repro.service.fingerprint import compile_fingerprint
 
 #: Bump when the serialized payload layout changes; stale disk entries are
 #: treated as misses rather than errors.
@@ -40,6 +47,10 @@ SCHEDULE_FORMAT_VERSION = 1
 SOURCE_MEMORY = "memory"
 SOURCE_DISK = "disk"
 SOURCE_SOLVER = "solver"
+
+#: Schedule generators whose disk payloads round-trip through
+#: :func:`realize_line_buffers`; everything else stays memory-tier only.
+_DISK_SAFE_GENERATORS = ("imagen", "imagen+lc")
 
 
 # ---------------------------------------------------------------------------
@@ -110,7 +121,12 @@ def deserialize_schedule(payload: dict, dag: PipelineDAG) -> PipelineSchedule:
 # Stores
 # ---------------------------------------------------------------------------
 class DiskCacheStore:
-    """Directory of JSON files, one per fingerprint.
+    """Sharded directory of JSON files, one per fingerprint.
+
+    Entries live under two-hex-char fingerprint-prefix subdirectories
+    (``<dir>/ab/abcd....json``) so shared cache volumes with many thousands of
+    entries never stress flat-directory lookups.  Entries written by older
+    library versions at the flat ``<dir>/abcd....json`` path are still read.
 
     Writes go through a temp file + rename so concurrent readers never see a
     half-written entry; unreadable or stale entries degrade to cache misses.
@@ -121,21 +137,31 @@ class DiskCacheStore:
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, fingerprint: str) -> Path:
+        return self.directory / fingerprint[:2] / f"{fingerprint}.json"
+
+    def legacy_path_for(self, fingerprint: str) -> Path:
+        """Flat pre-sharding location, still consulted on reads."""
         return self.directory / f"{fingerprint}.json"
 
     def load(self, fingerprint: str) -> dict | None:
-        path = self.path_for(fingerprint)
-        try:
-            with path.open("r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
-            return None
+        for path in (self.path_for(fingerprint), self.legacy_path_for(fingerprint)):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    return json.load(handle)
+            except FileNotFoundError:
+                continue
+            except (OSError, ValueError):
+                return None
+        return None
 
     def save(self, fingerprint: str, payload: dict) -> bool:
         """Persist one entry; returns ``False`` when the write failed."""
         path = self.path_for(fingerprint)
         tmp = path.with_suffix(".tmp")
         try:
+            # Non-recursive mkdir: if the store's base directory disappeared,
+            # degrade to a failed write instead of silently recreating it.
+            path.parent.mkdir(exist_ok=True)
             with tmp.open("w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
             tmp.replace(path)
@@ -144,11 +170,15 @@ class DiskCacheStore:
             tmp.unlink(missing_ok=True)
             return False
 
+    def _entry_paths(self):
+        yield from self.directory.glob("*.json")  # legacy flat entries
+        yield from self.directory.glob("??/*.json")  # sharded entries
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self._entry_paths())
 
     def clear(self) -> None:
-        for path in self.directory.glob("*.json"):
+        for path in list(self._entry_paths()):
             path.unlink(missing_ok=True)
 
 
@@ -204,31 +234,26 @@ class CompileCache:
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ reads
-    def fetch(
-        self,
-        dag: PipelineDAG,
-        image_width: int,
-        image_height: int,
-        memory_spec: MemorySpec,
-        options: SchedulerOptions,
-    ) -> tuple[PipelineSchedule | None, str, str]:
-        """Look up one request; returns ``(schedule | None, source, fingerprint)``.
+    def fetch(self, target: CompileTarget) -> tuple[PipelineSchedule | None, str, str]:
+        """Look up one target; returns ``(schedule | None, source, fingerprint)``.
 
         ``source`` is :data:`SOURCE_MEMORY`, :data:`SOURCE_DISK`, or
         :data:`SOURCE_SOLVER` (meaning: not cached, the caller must solve).
         """
-        fingerprint = compile_fingerprint(dag, image_width, image_height, memory_spec, options)
+        fingerprint = target.fingerprint  # memoized on the target
         with self._lock:
             schedule = self._entries.get(fingerprint)
             if schedule is not None:
                 self._entries.move_to_end(fingerprint)
                 self.stats.hits += 1
                 return schedule, SOURCE_MEMORY, fingerprint
-        if self.store is not None:
+        # Baseline designs are never persisted (their line buffers do not
+        # round-trip through realize_line_buffers), so skip the disk probe.
+        if self.store is not None and target.is_imagen:
             payload = self.store.load(fingerprint)
             if payload is not None:
                 try:
-                    schedule = deserialize_schedule(payload, dag)
+                    schedule = deserialize_schedule(payload, target.dag)
                 except Exception:
                     # Any malformed, stale, or version-skewed entry (bad spec
                     # fields, missing stages, ...) degrades to a cache miss.
@@ -249,7 +274,7 @@ class CompileCache:
         with self._lock:
             self._insert(fingerprint, schedule)
             self.stats.stores += 1
-        if self.store is not None:
+        if self.store is not None and schedule.generator in _DISK_SAFE_GENERATORS:
             if self.store.save(fingerprint, serialize_schedule(schedule)):
                 with self._lock:
                     self.stats.disk_stores += 1

@@ -1,39 +1,60 @@
 """The compile engine: cached, deduplicated, parallel compilation service.
 
-:class:`CompileEngine` is the serving-layer entry point that wraps
+:class:`CompileEngine` is the serving-layer entry point.  Its unit of work is
+the :class:`repro.api.CompileTarget`; every submission path wraps
 :func:`repro.core.compile_pipeline`:
 
-* every schedule solve goes through a shared :class:`CompileCache`, so
-  repeated requests (interactive clients, DSE sweeps, the auto-coalescing
-  fallback) are answered without re-running the ILP;
-* identical in-flight requests are deduplicated — concurrent batches that
-  contain the same design point trigger exactly one solve;
+* every generator run goes through a shared :class:`CompileCache`, so
+  repeated targets (interactive clients, DSE sweeps, the auto-coalescing
+  fallback, baseline comparisons) are answered without re-running anything;
+* identical in-flight targets are deduplicated — concurrent batches that
+  contain the same design point trigger exactly one run;
 * batches fan out over a thread pool (the HiGHS backend releases the GIL, so
   independent solves overlap on multi-core hosts);
 * per-request latency and hit-rate metrics are recorded
   (:class:`repro.service.metrics.EngineMetrics`).
 
-Single requests submitted through :meth:`CompileEngine.submit` (or the
+Single targets submitted through :meth:`CompileEngine.submit` (or the
 :meth:`CompileEngine.compile` convenience wrapper) run inline on the calling
-thread — the pool is created lazily and only for batches, so a cache-only
-engine costs nothing to construct.
+thread — the pool is created lazily, so a cache-only engine costs nothing to
+construct.
+
+Async front
+-----------
+For services that await compile jobs instead of dedicating a thread per
+request, the engine exposes an :mod:`asyncio` front over the same worker
+pool: :meth:`submit_async` and :meth:`submit_batch_async` wrap the pool's
+futures with :func:`asyncio.wrap_future`, and the engine is an async context
+manager::
+
+    async with CompileEngine(workers=4) as engine:
+        batch = await engine.submit_batch_async(targets)
+
+Results are identical to the synchronous paths for the same targets, and the
+cache, dedup and metrics machinery is shared — an async client and a sync
+batch racing on the same design point still trigger exactly one solve.
+
+Legacy :class:`CompileRequest` objects are still accepted everywhere a target
+is (converted via ``request.to_target()`` with a :class:`DeprecationWarning`).
 """
 
 from __future__ import annotations
 
+import asyncio
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import replace
 from typing import Iterable, Sequence
 
+from repro.api.target import CompileTarget
 from repro.core.compiler import CompiledAccelerator, compile_pipeline
 from repro.core.scheduler import SchedulerOptions
 from repro.ir.dag import PipelineDAG
 from repro.memory.spec import MemorySpec
 from repro.service.cache import CompileCache, DiskCacheStore
-from repro.service.fingerprint import compile_fingerprint
 from repro.service.jobs import (
     SOURCE_DEDUPLICATED,
     BatchResult,
@@ -42,9 +63,31 @@ from repro.service.jobs import (
 )
 from repro.service.metrics import EngineMetrics, RequestTrace
 
+#: Environment variable that overrides :func:`default_worker_count`, so
+#: deployments can size the pool without code changes.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
 
 def default_worker_count() -> int:
-    """Pool size used when the caller does not specify one."""
+    """Pool size used when the caller does not specify one.
+
+    The ``REPRO_WORKERS`` environment variable, when set to a positive
+    integer, takes precedence; anything unparsable or < 1 is ignored with a
+    :class:`RuntimeWarning`.
+    """
+    override = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if override:
+        try:
+            workers = int(override)
+        except ValueError:
+            workers = 0
+        if workers >= 1:
+            return workers
+        warnings.warn(
+            f"Ignoring invalid {WORKERS_ENV_VAR}={override!r} (need an integer >= 1)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return min(8, os.cpu_count() or 1)
 
 
@@ -55,7 +98,7 @@ class CompileEngine:
     ----------
     workers:
         Thread-pool size for batch submissions (default:
-        :func:`default_worker_count`).
+        :func:`default_worker_count`, overridable via ``REPRO_WORKERS``).
     cache:
         A :class:`CompileCache` to share between engines; one is created when
         omitted.
@@ -94,12 +137,24 @@ class CompileEngine:
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
-    def shutdown(self) -> None:
-        """Stop the worker pool (the cache and its disk store stay usable)."""
+    async def __aenter__(self) -> "CompileEngine":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        # Pool shutdown joins worker threads; keep that off the event loop.
+        await asyncio.get_running_loop().run_in_executor(None, self.shutdown)
+
+    def shutdown(self, wait: bool = True, *, cancel_pending: bool = False) -> None:
+        """Stop the worker pool (the cache and its disk store stay usable).
+
+        ``cancel_pending=True`` additionally cancels queued-but-unstarted
+        jobs: their futures (and any :func:`asyncio.wrap_future` wrappers
+        awaiting them) resolve with ``CancelledError``.
+        """
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=wait, cancel_futures=cancel_pending)
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -109,21 +164,64 @@ class CompileEngine:
                 )
             return self._pool
 
+    # -------------------------------------------------------- normalization
+    @staticmethod
+    def _as_target(item: CompileTarget | CompileRequest) -> CompileTarget:
+        if isinstance(item, CompileTarget):
+            return item
+        if isinstance(item, CompileRequest):
+            warnings.warn(
+                "Submitting CompileRequest objects is deprecated; build a "
+                "repro.api.CompileTarget instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return item.to_target()
+        raise TypeError(f"Expected CompileTarget or CompileRequest, got {type(item).__name__}")
+
     # ------------------------------------------------------------ single job
     def compile(
         self,
-        dag: PipelineDAG,
+        pipeline: CompileTarget | PipelineDAG,
         *,
-        image_width: int,
-        image_height: int,
+        image_width: int | None = None,
+        image_height: int | None = None,
         memory_spec: MemorySpec | None = None,
         coalescing: bool = False,
         options: SchedulerOptions | None = None,
         label: str = "",
     ) -> CompiledAccelerator:
-        """Drop-in cached replacement for :func:`repro.core.compile_pipeline`."""
-        request = CompileRequest(
-            dag=dag,
+        """Compile one target through the cache and return the accelerator.
+
+        ``engine.compile(target)`` is shorthand for
+        ``engine.submit(target).unwrap()``.  The loose kwarg form
+        ``engine.compile(dag, image_width=..., ...)`` is deprecated; it builds
+        a target internally and emits a :class:`DeprecationWarning`.
+        """
+        if isinstance(pipeline, CompileTarget):
+            if (
+                image_width is not None
+                or image_height is not None
+                or memory_spec is not None
+                or options is not None
+                or coalescing
+                or label
+            ):
+                raise TypeError(
+                    "engine.compile(target) takes no compile kwargs; derive the "
+                    "target instead (target.with_options(...), .with_label(...))"
+                )
+            return self.submit(pipeline).unwrap()
+        warnings.warn(
+            "engine.compile(dag, image_width=..., ...) is deprecated; build a "
+            "repro.api.CompileTarget and call engine.compile(target)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if image_width is None or image_height is None:
+            raise TypeError("engine.compile requires image_width and image_height")
+        target = CompileTarget.from_kwargs(
+            pipeline,
             image_width=image_width,
             image_height=image_height,
             memory_spec=memory_spec,
@@ -131,67 +229,75 @@ class CompileEngine:
             coalescing=coalescing,
             label=label,
         )
-        return self.submit(request).unwrap()
+        return self.submit(target).unwrap()
 
-    def submit(self, request: CompileRequest) -> CompileResult:
-        """Run one request inline on the calling thread, via the cache."""
-        resolved = request.resolved()
-        fingerprint = self._fingerprint(resolved)
-        result = self._execute(resolved, fingerprint)
+    def submit(self, target: CompileTarget | CompileRequest) -> CompileResult:
+        """Run one target inline on the calling thread, via the cache."""
+        target = self._as_target(target)
+        result = self._execute(target, target.fingerprint)
         self.metrics.record(self._trace(result))
         return result
 
-    # ----------------------------------------------------------------- batch
-    def submit_batch(self, requests: Sequence[CompileRequest] | Iterable[CompileRequest]) -> BatchResult:
-        """Compile many requests concurrently; results come back in order.
+    async def submit_async(self, target: CompileTarget | CompileRequest) -> CompileResult:
+        """Await one target on the worker pool without blocking the event loop.
 
-        Requests with identical fingerprints — within the batch or already
-        in flight from a concurrent batch — share a single execution; the
+        The result is identical to :meth:`submit` for the same target; the
+        job shares the engine's cache and in-flight dedup, so awaiting a
+        design point that a concurrent batch is already solving costs
+        nothing extra.
+        """
+        target = self._as_target(target)
+        future, owner = self._enqueue(target, target.fingerprint, {})
+        outcome: CompileResult = await asyncio.wrap_future(future)
+        return self._collect(target, future=None, outcome=outcome, owner=owner)
+
+    # ----------------------------------------------------------------- batch
+    def submit_batch(
+        self, requests: Sequence[CompileTarget | CompileRequest] | Iterable[CompileTarget | CompileRequest]
+    ) -> BatchResult:
+        """Compile many targets concurrently; results come back in order.
+
+        Targets with identical fingerprints — within the batch or already in
+        flight from a concurrent batch — share a single execution; the
         sharers are reported with ``source="deduplicated"``.  A failing
-        request yields an error-carrying :class:`CompileResult` instead of
+        target yields an error-carrying :class:`CompileResult` instead of
         raising, so one infeasible design point cannot kill a sweep.
         """
-        requests = list(requests)
+        targets = [self._as_target(request) for request in requests]
         started = time.perf_counter()
-        pool = self._ensure_pool()
+        slots = self._enqueue_all(targets)
+        results = [
+            self._collect(target, future=future, outcome=None, owner=owner)
+            for target, future, owner in slots
+        ]
+        self.metrics.record_batch()
+        return BatchResult(
+            results=results,
+            seconds=time.perf_counter() - started,
+            cache_stats=self.cache.stats.snapshot(),
+        )
 
-        slots: list[tuple[CompileRequest, str, Future, bool]] = []
-        batch_futures: dict[str, Future] = {}
-        for request in requests:
-            resolved = request.resolved()
-            fingerprint = self._fingerprint(resolved)
-            # Batch-local duplicates always share one execution (deterministic,
-            # immune to the owner finishing before the twin is enqueued).
-            future = batch_futures.get(fingerprint)
-            owner = future is None
-            if owner:
-                with self._lock:
-                    future = self._inflight.get(fingerprint)
-                    owner = future is None
-                    if owner:
-                        future = pool.submit(self._execute, resolved, fingerprint)
-                        self._inflight[fingerprint] = future
-                if owner:
-                    # Registered outside the lock: if the job already finished,
-                    # the callback runs inline and must be able to take the lock.
-                    future.add_done_callback(
-                        lambda _f, fp=fingerprint: self._clear_inflight(fp)
-                    )
-                batch_futures[fingerprint] = future
-            slots.append((resolved, fingerprint, future, owner))
+    async def submit_batch_async(
+        self, requests: Sequence[CompileTarget | CompileRequest] | Iterable[CompileTarget | CompileRequest]
+    ) -> BatchResult:
+        """Async twin of :meth:`submit_batch`: await a whole batch at once.
 
-        results: list[CompileResult] = []
-        for resolved, fingerprint, future, owner in slots:
-            outcome: CompileResult = future.result()
-            if owner:
-                result = outcome
-            else:
-                result = replace(
-                    outcome, request=resolved, source=SOURCE_DEDUPLICATED, seconds=0.0
-                )
-            self.metrics.record(self._trace(result))
-            results.append(result)
-
+        Jobs fan out over the same worker pool and dedup machinery as the
+        synchronous path, and the returned :class:`BatchResult` is equal to
+        what :meth:`submit_batch` would produce for the same targets.  If the
+        engine is shut down with ``cancel_pending=True`` while the batch is
+        queued, the await raises :class:`asyncio.CancelledError`.
+        """
+        targets = [self._as_target(request) for request in requests]
+        started = time.perf_counter()
+        slots = self._enqueue_all(targets)
+        outcomes = await asyncio.gather(
+            *(asyncio.wrap_future(future) for _, future, _ in slots)
+        )
+        results = [
+            self._collect(target, future=None, outcome=outcome, owner=owner)
+            for (target, _, owner), outcome in zip(slots, outcomes)
+        ]
         self.metrics.record_batch()
         return BatchResult(
             results=results,
@@ -200,33 +306,71 @@ class CompileEngine:
         )
 
     # ------------------------------------------------------------- internals
-    def _fingerprint(self, resolved: CompileRequest) -> str:
-        return compile_fingerprint(
-            resolved.dag,
-            resolved.image_width,
-            resolved.image_height,
-            resolved.memory_spec,
-            resolved.options,
-        )
+    def _enqueue(
+        self, target: CompileTarget, fingerprint: str, local: dict[str, Future]
+    ) -> tuple[Future, bool]:
+        """Queue one target on the pool, deduplicating against ``local`` and
+        the engine-wide in-flight table.  Returns ``(future, owner)``."""
+        future = local.get(fingerprint)
+        if future is not None:
+            return future, False
+        pool = self._ensure_pool()
+        with self._lock:
+            future = self._inflight.get(fingerprint)
+            owner = future is None
+            if owner:
+                future = pool.submit(self._execute, target, fingerprint)
+                self._inflight[fingerprint] = future
+        if owner:
+            # Registered outside the lock: if the job already finished, the
+            # callback runs inline and must be able to take the lock.
+            future.add_done_callback(lambda _f, fp=fingerprint: self._clear_inflight(fp))
+        local[fingerprint] = future
+        return future, owner
+
+    def _enqueue_all(
+        self, targets: list[CompileTarget]
+    ) -> list[tuple[CompileTarget, Future, bool]]:
+        # Batch-local duplicates always share one execution (deterministic,
+        # immune to the owner finishing before the twin is enqueued).
+        local: dict[str, Future] = {}
+        slots = []
+        for target in targets:
+            future, owner = self._enqueue(target, target.fingerprint, local)
+            slots.append((target, future, owner))
+        return slots
+
+    def _collect(
+        self,
+        target: CompileTarget,
+        *,
+        future: Future | None,
+        outcome: CompileResult | None,
+        owner: bool,
+    ) -> CompileResult:
+        """Finalize one job: relabel dedup sharers, record metrics."""
+        if outcome is None:
+            outcome = future.result()
+        if owner:
+            result = outcome
+        else:
+            result = replace(
+                outcome, target=target, source=SOURCE_DEDUPLICATED, seconds=0.0
+            )
+        self.metrics.record(self._trace(result))
+        return result
 
     def _clear_inflight(self, fingerprint: str) -> None:
         with self._lock:
             self._inflight.pop(fingerprint, None)
 
-    def _execute(self, resolved: CompileRequest, fingerprint: str) -> CompileResult:
+    def _execute(self, target: CompileTarget, fingerprint: str) -> CompileResult:
         started = time.perf_counter()
         try:
-            accelerator = compile_pipeline(
-                resolved.dag,
-                image_width=resolved.image_width,
-                image_height=resolved.image_height,
-                memory_spec=resolved.memory_spec,
-                options=resolved.options,
-                cache=self.cache,
-            )
+            accelerator = compile_pipeline(target, cache=self.cache)
         except Exception as exc:  # one bad design point must not kill a batch
             return CompileResult(
-                request=resolved,
+                target=target,
                 fingerprint=fingerprint,
                 error=f"{type(exc).__name__}: {exc}",
                 seconds=time.perf_counter() - started,
@@ -237,7 +381,7 @@ class CompileEngine:
         else:
             source = "solver"
         return CompileResult(
-            request=resolved,
+            target=target,
             fingerprint=fingerprint,
             accelerator=accelerator,
             source=source,
@@ -246,7 +390,7 @@ class CompileEngine:
 
     def _trace(self, result: CompileResult) -> RequestTrace:
         return RequestTrace(
-            label=result.request.label or result.request.dag.name,
+            label=result.target.display_label,
             fingerprint=result.fingerprint,
             source=result.source,
             seconds=result.seconds,

@@ -1,84 +1,24 @@
-"""Content-addressed fingerprints for compile requests.
+"""Compatibility shim: fingerprinting moved to :mod:`repro.api.fingerprint`.
 
-The compile cache (:mod:`repro.service.cache`) is keyed by a stable hash of
-everything the scheduler's output depends on: the pipeline graph, the image
-resolution, the memory specification, and the scheduler options.  Two requests
-with the same fingerprint are guaranteed to produce the same schedule, so the
-second one can be served from cache without touching the ILP solver.
-
-Normalization rules
--------------------
-* The DAG is hashed through :meth:`repro.ir.dag.PipelineDAG.canonical_form`,
-  which is invariant to stage/edge insertion order and to the pipeline's
-  display name.
-* ``SchedulerOptions.coalescing_policy`` and ``per_stage_coalescing`` only
-  influence the schedule when ``coalescing`` is enabled, so they are dropped
-  from the fingerprint when it is off.  This is what lets the all-DP design
-  point of a DSE sweep (``coalescing=False, policy="all"``) hit the cache
-  entry written by a plain baseline compile (``policy="auto"``).
-* Everything is serialized to JSON with sorted keys before hashing, so dict
-  ordering never leaks into the digest.
+The content-addressed fingerprint became part of the public request API when
+:class:`repro.api.CompileTarget` was introduced (``compile_fingerprint`` is
+generator-aware and accepts a target directly).  This module re-exports the
+implementation so existing ``repro.service.fingerprint`` imports keep working.
 """
 
-from __future__ import annotations
+from repro.api.fingerprint import (
+    FINGERPRINT_VERSION,
+    _digest,
+    compile_fingerprint,
+    dag_fingerprint,
+    normalize_memory_spec,
+    normalize_options,
+)
 
-import hashlib
-import json
-from dataclasses import asdict
-
-from repro.core.scheduler import SchedulerOptions
-from repro.ir.dag import PipelineDAG
-from repro.memory.spec import MemorySpec
-
-#: Bump when the canonical serialization or the scheduler semantics change in
-#: a way that invalidates previously persisted cache entries.
-FINGERPRINT_VERSION = 1
-
-
-def normalize_options(options: SchedulerOptions) -> dict:
-    """Reduce scheduler options to the fields that can change the schedule."""
-    data = {
-        "ports": options.ports,
-        "coalescing": options.coalescing,
-        "pruning": options.pruning,
-        "disjunction_strategy": options.disjunction_strategy,
-        "backend": options.backend,
-        "max_subproblems": options.max_subproblems,
-    }
-    if options.coalescing:
-        data["coalescing_policy"] = options.coalescing_policy
-        data["per_stage_coalescing"] = sorted(options.per_stage_coalescing.items())
-    return data
-
-
-def normalize_memory_spec(spec: MemorySpec) -> dict:
-    """Flatten a memory spec into plain JSON-serializable fields."""
-    return asdict(spec)
-
-
-def _digest(payload: dict) -> str:
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-def dag_fingerprint(dag: PipelineDAG) -> str:
-    """Stable hash of the pipeline structure alone."""
-    return _digest({"version": FINGERPRINT_VERSION, "dag": dag.canonical_form()})
-
-
-def compile_fingerprint(
-    dag: PipelineDAG,
-    image_width: int,
-    image_height: int,
-    memory_spec: MemorySpec,
-    options: SchedulerOptions,
-) -> str:
-    """Stable hash of one complete schedule request."""
-    payload = {
-        "version": FINGERPRINT_VERSION,
-        "dag": dag.canonical_form(),
-        "resolution": [image_width, image_height],
-        "memory_spec": normalize_memory_spec(memory_spec),
-        "options": normalize_options(options),
-    }
-    return _digest(payload)
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "compile_fingerprint",
+    "dag_fingerprint",
+    "normalize_memory_spec",
+    "normalize_options",
+]

@@ -1,10 +1,15 @@
 """Typed job records for the compilation service.
 
-A :class:`CompileRequest` captures everything :func:`repro.core.compile_pipeline`
-needs; a :class:`CompileResult` carries either the compiled accelerator or a
-captured error, so that one infeasible design point never aborts a batch or a
-DSE sweep.  :class:`BatchResult` aggregates a batch submission with its cache
-statistics and wall-clock time.
+The engine's unit of work is a :class:`repro.api.CompileTarget`; a
+:class:`CompileResult` carries the target it answered plus either the compiled
+accelerator or a captured error, so that one infeasible design point never
+aborts a batch or a DSE sweep.  :class:`BatchResult` aggregates a batch
+submission with its cache statistics and wall-clock time.
+
+:class:`CompileRequest` is the legacy request record from before the unified
+target API.  Submitting one still works — the engine converts it via
+:meth:`CompileRequest.to_target` and emits a :class:`DeprecationWarning` — and
+``CompileResult.request`` reconstructs one for callers that still read it.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.api.target import CompileTarget
 from repro.core.compiler import CompiledAccelerator
 from repro.core.scheduler import SchedulerOptions
 from repro.errors import ReproError
@@ -29,16 +35,16 @@ class CompileStatus(enum.Enum):
 
 
 #: Where a result came from: ``"memory"``/``"disk"`` (cache tiers),
-#: ``"solver"`` (at least one fresh ILP solve), or ``"deduplicated"``
+#: ``"solver"`` (at least one fresh generator run), or ``"deduplicated"``
 #: (shared with an identical in-flight request).
 SOURCE_DEDUPLICATED = "deduplicated"
 
 
 @dataclass
 class CompileRequest:
-    """One compilation job: a pipeline plus the compile parameters.
+    """Legacy compilation job record (pre-:class:`CompileTarget`).
 
-    ``memory_spec`` and ``options`` may be left ``None``; :meth:`resolved`
+    ``memory_spec`` and ``options`` may be left ``None``; :meth:`to_target`
     fills in the library defaults (dual-port ASIC SRAM, default options) and
     applies the ``coalescing`` convenience flag onto a private copy of the
     options, so callers' objects are never mutated.
@@ -52,6 +58,19 @@ class CompileRequest:
     coalescing: bool = False
     label: str = ""
     metadata: dict[str, Any] = field(default_factory=dict)
+
+    def to_target(self) -> CompileTarget:
+        """The equivalent :class:`CompileTarget`, with defaults resolved."""
+        return CompileTarget.from_kwargs(
+            self.dag,
+            image_width=self.image_width,
+            image_height=self.image_height,
+            memory_spec=self.memory_spec,
+            options=self.options,
+            coalescing=self.coalescing,
+            label=self.label,
+            metadata=dict(self.metadata),
+        )
 
     def resolved(self) -> "CompileRequest":
         """A copy with defaults applied and options isolated from the caller."""
@@ -74,12 +93,35 @@ class CompileRequest:
 class CompileResult:
     """Outcome of one compile job, successful or not."""
 
-    request: CompileRequest
+    target: CompileTarget
     fingerprint: str = ""
     accelerator: CompiledAccelerator | None = None
     error: str | None = None
     source: str = "solver"
     seconds: float = 0.0
+
+    @property
+    def request(self) -> CompileRequest:
+        """The legacy request record equivalent to :attr:`target`.
+
+        Only defined for optimizer targets: :class:`CompileRequest` predates
+        generators and cannot express a baseline, so converting one would
+        silently turn a Darkroom/SODA/FixyNN result into an ImaGen request.
+        """
+        if not self.target.is_imagen:
+            raise ValueError(
+                f"CompileResult.request cannot represent a {self.target.generator!r} "
+                "target (CompileRequest has no generator); use result.target"
+            )
+        return CompileRequest(
+            dag=self.target.dag,
+            image_width=self.target.image_width,
+            image_height=self.target.image_height,
+            memory_spec=self.target.memory_spec,
+            options=self.target.options,
+            label=self.target.label,
+            metadata=dict(self.target.metadata),
+        )
 
     @property
     def status(self) -> CompileStatus:
@@ -96,8 +138,9 @@ class CompileResult:
     def unwrap(self) -> CompiledAccelerator:
         """The accelerator, or a :class:`ReproError` describing the failure."""
         if self.accelerator is None:
-            label = self.request.label or self.request.dag.name
-            raise ReproError(f"Compilation of {label!r} failed: {self.error}")
+            raise ReproError(
+                f"Compilation of {self.target.display_label!r} failed: {self.error}"
+            )
         return self.accelerator
 
 
@@ -133,7 +176,7 @@ class BatchResult:
         failures = self.failures
         if failures:
             summary = "; ".join(
-                f"{(f.request.label or f.request.dag.name)!r}: {f.error}" for f in failures[:5]
+                f"{f.target.display_label!r}: {f.error}" for f in failures[:5]
             )
             more = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
             raise ReproError(f"{len(failures)}/{len(self.results)} compile jobs failed: {summary}{more}")

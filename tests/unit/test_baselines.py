@@ -27,6 +27,24 @@ class TestDispatch:
             schedule = generate_baseline(name, build_chain(3), W, H)
             assert schedule.generator == name
 
+    def test_positional_form_keeps_per_generator_spec_defaults(self):
+        """No-spec legacy calls keep each generator's historical default."""
+        assert generate_baseline("soda", build_chain(3), W, H).memory_spec.name == "asic-fifo"
+        assert generate_baseline("fixynn", build_chain(3), W, H).memory_spec.name == "asic-sp"
+        assert generate_baseline("darkroom", build_chain(3), W, H).memory_spec.name == "asic-dp"
+
+    def test_spec_adaptation_is_idempotent(self):
+        """A spec already in the generator's form is used as-is, not renamed."""
+        from repro.memory.spec import asic_fifo
+
+        soda = SodaGenerator().generate(build_chain(3), W, H, asic_fifo())
+        assert soda.memory_spec.name == "asic-fifo"
+        fixynn = FixynnGenerator().generate(build_chain(3), W, H, asic_single_port())
+        assert fixynn.memory_spec.name == "asic-sp"
+        # ...while a generic dual-port spec is visibly adapted.
+        adapted = SodaGenerator().generate(build_chain(3), W, H, asic_dual_port())
+        assert adapted.memory_spec.name == "asic-dp-fifo"
+
     def test_unknown_name(self):
         with pytest.raises(BaselineError):
             generate_baseline("halide", build_chain(3), W, H)

@@ -64,3 +64,45 @@ class TestCompile:
         accelerator = compile_pipeline(build_chain(3), image_width=W, image_height=H)
         assert "K0" in accelerator.describe()
         assert accelerator.dag is accelerator.schedule.dag
+
+
+class TestFingerprintMetadata:
+    def test_fingerprints_recorded_alongside_sources(self):
+        from repro.api import CompileTarget
+        from repro.service import CompileCache
+
+        cache = CompileCache()
+        target = CompileTarget(build_paper_example(), image_width=W, image_height=H)
+        accelerator = compile_pipeline(target, cache=cache)
+        sources = accelerator.metadata["schedule_sources"]
+        fingerprints = accelerator.metadata["schedule_fingerprints"]
+        assert len(fingerprints) == len(sources) == 1
+        assert fingerprints[0] == target.fingerprint
+        assert accelerator.fingerprint == target.fingerprint
+        # The recorded fingerprint is the cache key of the stored entry.
+        assert fingerprints[0] in cache
+
+    def test_auto_coalescing_fallback_records_both_solves(self):
+        from repro.api import CompileTarget
+        from repro.service import CompileCache
+
+        cache = CompileCache()
+        target = CompileTarget(
+            build_paper_example(), image_width=W, image_height=H
+        ).with_options(coalescing=True)
+        accelerator = compile_pipeline(target, cache=cache)
+        sources = accelerator.metadata["schedule_sources"]
+        fingerprints = accelerator.metadata["schedule_fingerprints"]
+        assert len(fingerprints) == len(sources) == 2
+        assert fingerprints[0] == target.fingerprint
+        assert fingerprints[1] == target.with_options(coalescing=False).fingerprint
+        assert all(fingerprint in cache for fingerprint in fingerprints)
+
+    def test_fingerprints_recorded_even_without_cache(self):
+        from repro.api import CompileTarget
+
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        accelerator = compile_pipeline(target)
+        assert accelerator.metadata["schedule_fingerprints"] == (target.fingerprint,)
+        assert accelerator.metadata["schedule_sources"] == ("solver",)
+        assert accelerator.target is target

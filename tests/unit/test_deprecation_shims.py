@@ -1,0 +1,141 @@
+"""The pre-CompileTarget entry points keep working but warn.
+
+These tests assert the warning filters in-test (``pytest.warns`` plus
+``error::DeprecationWarning`` marks on the new-API paths), so the suite can be
+run under ``-W error::DeprecationWarning`` — CI does exactly that for this
+file — and still prove both halves: old entry points emit the warning, new
+ones never do.
+"""
+
+import pytest
+
+from repro.api import CompileTarget
+from repro.baselines import generate_baseline
+from repro.core.compiler import CompiledAccelerator, compile_pipeline
+from repro.core.schedule import PipelineSchedule
+from repro.service import CompileEngine, CompileRequest
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain, build_paper_example
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+
+@pytest.fixture
+def engine():
+    engine = CompileEngine(workers=2)
+    yield engine
+    engine.shutdown()
+
+
+class TestLegacyEntryPointsWarnButWork:
+    def test_compile_pipeline_kwarg_form(self):
+        with pytest.warns(DeprecationWarning, match="CompileTarget"):
+            acc = compile_pipeline(build_chain(3), image_width=W, image_height=H)
+        assert isinstance(acc, CompiledAccelerator)
+        assert acc.schedule.generator == "imagen"
+
+    def test_engine_compile_kwarg_form(self, engine):
+        with pytest.warns(DeprecationWarning, match="CompileTarget"):
+            acc = engine.compile(build_chain(3), image_width=W, image_height=H)
+        assert isinstance(acc, CompiledAccelerator)
+
+    def test_submitting_compile_request(self, engine):
+        request = CompileRequest(dag=build_chain(3), image_width=W, image_height=H, label="old")
+        with pytest.warns(DeprecationWarning, match="CompileTarget"):
+            result = engine.submit(request)
+        assert result.ok
+        assert result.target.label == "old"
+        assert result.request.label == "old"  # legacy view still reconstructable
+
+    def test_batch_of_compile_requests(self, engine):
+        requests = [
+            CompileRequest(dag=build_chain(3), image_width=W, image_height=H),
+            CompileRequest(dag=build_chain(4), image_width=W, image_height=H),
+        ]
+        with pytest.warns(DeprecationWarning, match="CompileTarget"):
+            batch = engine.submit_batch(requests)
+        assert all(result.ok for result in batch.results)
+
+    def test_positional_generate_baseline(self):
+        with pytest.warns(DeprecationWarning, match="CompileTarget"):
+            schedule = generate_baseline("soda", build_chain(3), W, H)
+        # The legacy form keeps its legacy return type: a raw schedule.
+        assert isinstance(schedule, PipelineSchedule)
+        assert schedule.generator == "soda"
+
+    def test_legacy_and_target_forms_agree(self):
+        target = CompileTarget(build_paper_example(), image_width=W, image_height=H)
+        via_target = compile_pipeline(target)
+        with pytest.warns(DeprecationWarning):
+            via_kwargs = compile_pipeline(build_paper_example(), image_width=W, image_height=H)
+        assert via_target.schedule.start_cycles == via_kwargs.schedule.start_cycles
+        assert (
+            via_target.schedule.total_allocated_bits
+            == via_kwargs.schedule.total_allocated_bits
+        )
+
+
+@pytest.mark.filterwarnings("error::DeprecationWarning")
+class TestNewApiIsWarningFree:
+    def test_compile_pipeline_target(self):
+        acc = compile_pipeline(CompileTarget(build_chain(3), image_width=W, image_height=H))
+        assert acc.schedule.generator == "imagen"
+
+    def test_engine_target_paths(self, engine):
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        assert engine.submit(target).ok
+        assert engine.compile(target).schedule is engine.submit(target).accelerator.schedule
+        assert all(r.ok for r in engine.submit_batch([target, target]))
+
+    def test_generate_baseline_target(self):
+        target = CompileTarget(
+            build_chain(3), image_width=W, image_height=H, generator="darkroom"
+        )
+        acc = generate_baseline(target)
+        assert isinstance(acc, CompiledAccelerator)
+        assert acc.schedule.generator == "darkroom"
+
+
+class TestShimSharpEdges:
+    def test_target_plus_kwargs_rejected(self):
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        with pytest.raises(TypeError):
+            compile_pipeline(target, image_width=W)
+
+    def test_engine_compile_target_plus_kwargs_rejected(self, engine):
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        with pytest.raises(TypeError):
+            engine.compile(target, coalescing=True)
+        with pytest.raises(TypeError):
+            engine.compile(target, label="tagged")
+
+    def test_request_metadata_survives_the_shim_round_trip(self, engine):
+        request = CompileRequest(
+            dag=build_chain(3),
+            image_width=W,
+            image_height=H,
+            metadata={"sweep_id": 7},
+        )
+        with pytest.warns(DeprecationWarning):
+            result = engine.submit(request)
+        assert result.target.metadata == {"sweep_id": 7}
+        assert result.request.metadata == {"sweep_id": 7}
+
+    def test_kwarg_form_requires_resolution(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                compile_pipeline(build_chain(3))
+
+    def test_baseline_target_with_imagen_generator_rejected(self):
+        from repro.errors import BaselineError
+
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        with pytest.raises(BaselineError):
+            generate_baseline(target)
+
+    def test_unknown_baseline_name_still_raises(self):
+        from repro.errors import BaselineError
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(BaselineError):
+                generate_baseline("halide", build_chain(3), W, H)

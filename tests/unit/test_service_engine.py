@@ -189,3 +189,106 @@ class TestSweepIntegration:
         again = sweep_memory_configurations(dag, image_width=W, image_height=H, engine=engine)
         assert engine.cache.stats.misses == misses_before  # zero new ILP solves
         assert all(p.area_mm2 > 0 for p in again)
+
+    def test_sweep_accepts_base_target(self, engine):
+        from repro.api import CompileTarget
+
+        target = CompileTarget(build_algorithm("unsharp-m"), image_width=W, image_height=H)
+        via_target = sweep_memory_configurations(target, engine=engine)
+        via_kwargs = sweep_memory_configurations(
+            build_algorithm("unsharp-m"), image_width=W, image_height=H
+        )
+        assert [p.label for p in via_target] == [p.label for p in via_kwargs]
+        assert [p.area_mm2 for p in via_target] == [p.area_mm2 for p in via_kwargs]
+
+    def test_coalesced_base_target_does_not_leak_into_all_dp_point(self):
+        """The baseline/all-DP compile must ignore the base's coalescing flag."""
+        from repro.api import CompileTarget
+
+        plain = CompileTarget(build_algorithm("unsharp-m"), image_width=W, image_height=H)
+        coalesced = plain.with_options(coalescing=True)
+        from_plain = sweep_memory_configurations(plain)
+        from_coalesced = sweep_memory_configurations(coalesced)
+        assert [p.label for p in from_coalesced] == [p.label for p in from_plain]
+        assert [p.area_mm2 for p in from_coalesced] == [p.area_mm2 for p in from_plain]
+        all_dp = next(p for p in from_coalesced if p.label == "all-DP")
+        assert all_dp.accelerator.schedule.generator == "imagen"  # not "imagen+lc"
+
+
+class TestBaselineRequests:
+    """Baseline generators are served through the same engine and cache."""
+
+    def test_repeated_baseline_served_from_cache(self, engine):
+        """Acceptance: a repeated generate_baseline design point is a cache hit."""
+        from repro.api import CompileTarget
+
+        target = CompileTarget(
+            build_paper_example(), image_width=W, image_height=H, generator="darkroom"
+        )
+        first = engine.submit(target)
+        assert first.ok and first.source == "solver"
+        assert engine.cache.stats.misses == 1
+        second = engine.submit(target)
+        assert second.source == "memory" and second.from_cache
+        assert engine.cache.stats.hits == 1
+        assert engine.metrics.served_from_cache == 1
+        assert second.accelerator.schedule is first.accelerator.schedule
+        assert second.accelerator.schedule.generator == "darkroom"
+
+    def test_mixed_generator_batch(self, engine):
+        from repro.api import CompileTarget
+
+        base = CompileTarget(build_paper_example(), image_width=W, image_height=H)
+        batch = engine.submit_batch(
+            [base, base.with_generator("fixynn"), base.with_generator("soda")]
+        )
+        assert [r.accelerator.schedule.generator for r in batch.results] == [
+            "imagen",
+            "fixynn",
+            "soda",
+        ]
+        assert len({r.fingerprint for r in batch.results}) == 3
+
+    def test_unknown_generator_is_captured_as_error(self, engine):
+        from repro.api import CompileTarget
+
+        result = engine.submit(
+            CompileTarget(build_chain(3), image_width=W, image_height=H, generator="halide")
+        )
+        assert not result.ok
+        assert "BaselineError" in result.error
+
+    def test_baseline_result_refuses_lossy_legacy_request_view(self, engine):
+        from repro.api import CompileTarget
+
+        result = engine.submit(
+            CompileTarget(build_chain(3), image_width=W, image_height=H, generator="soda")
+        )
+        assert result.ok
+        # CompileRequest cannot express a generator: converting would silently
+        # re-describe the design as an ImaGen compile, so it must refuse.
+        with pytest.raises(ValueError, match="soda"):
+            result.request
+
+
+class TestWorkerSizing:
+    def test_env_override(self, monkeypatch):
+        from repro.service import default_worker_count
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_worker_count() == 3
+        assert CompileEngine().workers == 3
+
+    def test_explicit_workers_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert CompileEngine(workers=5).workers == 5
+
+    def test_invalid_env_ignored_with_warning(self, monkeypatch):
+        from repro.service import default_worker_count
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        baseline = default_worker_count()
+        for bad in ("zero", "0", "-2"):
+            monkeypatch.setenv("REPRO_WORKERS", bad)
+            with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+                assert default_worker_count() == baseline
