@@ -13,8 +13,8 @@ Public API
 * :mod:`repro.rtl` — Verilog generation.
 * :mod:`repro.algorithms` — the Table-3 algorithm suite.
 * :mod:`repro.dse` — design-space exploration (Fig. 10), via ``target.with_options(...)``.
-* :mod:`repro.service` — compile cache + batch/parallel engine with sync and
-  asyncio serving fronts.
+* :mod:`repro.service` — compile cache + batch/parallel engine with sync,
+  asyncio and HTTP/JSON serving fronts (``python -m repro.service.http``).
 """
 
 from repro.api.fingerprint import compile_fingerprint, dag_fingerprint

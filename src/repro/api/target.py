@@ -160,6 +160,30 @@ class CompileTarget:
         """The same target, relabelled for traces (fingerprint unchanged)."""
         return dc_replace(self, label=label)
 
+    # --------------------------------------------------------------- transport
+    def to_wire(self) -> dict:
+        """JSON-serializable wire form of this target.
+
+        Delegates to :func:`repro.service.wire.target_to_wire`; the result
+        round-trips through :meth:`from_wire` with the same content
+        fingerprint, which is what lets remote HTTP clients share cache
+        entries with in-process callers.
+        """
+        from repro.service.wire import target_to_wire
+
+        return target_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "CompileTarget":
+        """Rebuild a target from :meth:`to_wire` output.
+
+        Raises :class:`repro.service.wire.WireFormatError` on malformed
+        payloads.
+        """
+        from repro.service.wire import target_from_wire
+
+        return target_from_wire(payload)
+
     # ------------------------------------------------------------- inspection
     @property
     def is_imagen(self) -> bool:

@@ -10,7 +10,12 @@ unified :class:`repro.api.CompileTarget` request object:
 * :mod:`repro.service.metrics` — per-request latency and hit-rate metrics;
 * :mod:`repro.service.engine` — the :class:`CompileEngine` front door, with
   synchronous (``submit``/``submit_batch``) and asyncio
-  (``submit_async``/``submit_batch_async``) serving fronts.
+  (``submit_async``/``submit_batch_async``) serving fronts;
+* :mod:`repro.service.wire` — the JSON codec that round-trips
+  :class:`CompileTarget` requests and flattens results for the network
+  boundary;
+* :mod:`repro.service.http` — the stdlib HTTP/JSON serving front
+  (``python -m repro.service.http``) plus the :class:`ServiceClient` helper.
 
 Fingerprinting lives in :mod:`repro.api.fingerprint`;
 ``repro.service.fingerprint`` re-exports it for compatibility.
@@ -41,6 +46,12 @@ from repro.service.cache import (
     serialize_schedule,
 )
 from repro.service.engine import WORKERS_ENV_VAR, CompileEngine, default_worker_count
+from repro.service.http import (
+    CompileServiceServer,
+    ServiceClient,
+    ServiceError,
+    start_server,
+)
 from repro.service.jobs import (
     BatchResult,
     CompileRequest,
@@ -48,6 +59,14 @@ from repro.service.jobs import (
     CompileStatus,
 )
 from repro.service.metrics import EngineMetrics, RequestTrace
+from repro.service.wire import (
+    WIRE_FORMAT_VERSION,
+    WireFormatError,
+    batch_result_to_wire,
+    result_to_wire,
+    target_from_wire,
+    target_to_wire,
+)
 
 __all__ = [
     "BatchResult",
@@ -56,16 +75,26 @@ __all__ = [
     "CompileEngine",
     "CompileRequest",
     "CompileResult",
+    "CompileServiceServer",
     "CompileStatus",
     "CompileTarget",
     "DiskCacheStore",
     "EngineMetrics",
     "FINGERPRINT_VERSION",
     "RequestTrace",
+    "ServiceClient",
+    "ServiceError",
+    "WIRE_FORMAT_VERSION",
     "WORKERS_ENV_VAR",
+    "WireFormatError",
+    "batch_result_to_wire",
     "compile_fingerprint",
     "dag_fingerprint",
     "default_worker_count",
     "deserialize_schedule",
+    "result_to_wire",
     "serialize_schedule",
+    "start_server",
+    "target_from_wire",
+    "target_to_wire",
 ]

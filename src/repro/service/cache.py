@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
@@ -155,31 +156,58 @@ class DiskCacheStore:
         return None
 
     def save(self, fingerprint: str, payload: dict) -> bool:
-        """Persist one entry; returns ``False`` when the write failed."""
+        """Persist one entry; returns ``False`` when the write failed.
+
+        The temp name is unique per writer (``mkstemp`` in the shard
+        directory): several processes sharing one cache volume may save the
+        same fingerprint concurrently, and a shared temp path would let their
+        writes interleave and rename corrupt JSON into place.
+        """
         path = self.path_for(fingerprint)
-        tmp = path.with_suffix(".tmp")
+        tmp: Path | None = None
         try:
             # Non-recursive mkdir: if the store's base directory disappeared,
             # degrade to a failed write instead of silently recreating it.
             path.parent.mkdir(exist_ok=True)
-            with tmp.open("w", encoding="utf-8") as handle:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f"{fingerprint}.", suffix=".tmp", dir=path.parent
+            )
+            tmp = Path(tmp_name)
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
             tmp.replace(path)
-            return True
         except OSError:
-            tmp.unlink(missing_ok=True)
+            if tmp is not None:
+                tmp.unlink(missing_ok=True)
             return False
+        try:
+            # The sharded entry now shadows any pre-sharding flat twin; drop
+            # the flat file so __len__/clear see one entry per fingerprint.
+            self.legacy_path_for(fingerprint).unlink(missing_ok=True)
+        except OSError:
+            pass  # the write itself succeeded; a stale twin is harmless
+        return True
 
     def _entry_paths(self):
-        yield from self.directory.glob("*.json")  # legacy flat entries
-        yield from self.directory.glob("??/*.json")  # sharded entries
+        """One path per fingerprint (a sharded entry shadows its flat twin)."""
+        sharded = set()
+        for path in self.directory.glob("??/*.json"):
+            sharded.add(path.stem)
+            yield path
+        for path in self.directory.glob("*.json"):  # legacy flat entries
+            if path.stem not in sharded:
+                yield path
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entry_paths())
 
     def clear(self) -> None:
-        for path in list(self._entry_paths()):
-            path.unlink(missing_ok=True)
+        # Raw globs, not the deduplicated view: a fingerprint present at both
+        # the sharded and the legacy flat path must lose both files.  Stray
+        # temp files from writers that died mid-save are swept up too.
+        for pattern in ("*.json", "??/*.json", "??/*.tmp"):
+            for path in list(self.directory.glob(pattern)):
+                path.unlink(missing_ok=True)
 
 
 @dataclass

@@ -232,11 +232,40 @@ class CompileEngine:
         return self.submit(target).unwrap()
 
     def submit(self, target: CompileTarget | CompileRequest) -> CompileResult:
-        """Run one target inline on the calling thread, via the cache."""
+        """Run one target inline on the calling thread, via the cache.
+
+        Inline submits take part in the engine-wide in-flight deduplication:
+        if an identical fingerprint is already being solved (by a batch, an
+        async client, or another thread's inline submit), this call waits for
+        that solve and reports ``source="deduplicated"`` instead of running a
+        second one; otherwise it publishes its own future so concurrent
+        submitters of the same target join it.
+        """
         target = self._as_target(target)
-        result = self._execute(target, target.fingerprint)
-        self.metrics.record(self._trace(result))
-        return result
+        fingerprint = target.fingerprint
+        future: Future = Future()
+        # Mark the future running *before* publishing it: a joiner whose
+        # asyncio wrapper gets cancelled would otherwise cancel() the pending
+        # future and make our set_result() below raise InvalidStateError.
+        future.set_running_or_notify_cancel()
+        with self._lock:
+            existing = self._inflight.get(fingerprint)
+            if existing is None:
+                self._inflight[fingerprint] = future
+        if existing is not None:
+            return self._collect(target, future=existing, outcome=None, owner=False)
+        try:
+            result = self._execute(target, fingerprint)
+        except BaseException as exc:
+            # _execute captures compile errors in the result; anything that
+            # still escapes is fatal — propagate it to waiters before
+            # unpublishing, so they never re-run the solve obliviously.
+            future.set_exception(exc)
+            self._clear_inflight(fingerprint)
+            raise
+        future.set_result(result)
+        self._clear_inflight(fingerprint)
+        return self._collect(target, future=None, outcome=result, owner=True)
 
     async def submit_async(self, target: CompileTarget | CompileRequest) -> CompileResult:
         """Await one target on the worker pool without blocking the event loop.

@@ -1,0 +1,343 @@
+"""Stdlib-only HTTP/JSON serving front over :class:`CompileEngine`.
+
+This is the network surface of the compilation service: a
+:class:`http.server.ThreadingHTTPServer` whose handler threads submit
+decoded :class:`repro.api.CompileTarget` requests to one shared engine, so
+every HTTP client transparently gets the engine's content-addressed cache,
+in-flight deduplication and metrics.  Several service processes may point
+``--cache-dir`` at one shared volume: disk writes are atomic per writer and
+fingerprint-addressed, so they cooperate instead of corrupting each other.
+
+Endpoints
+---------
+* ``POST /v1/compile`` — body: one wire-format target
+  (:func:`repro.service.wire.target_to_wire`).  Responds 200 with
+  :func:`repro.service.wire.result_to_wire` output; compile *failures* are
+  ``ok: false`` JSON (the request was served), while undecodable payloads are
+  400s.
+* ``POST /v1/batch`` — body: ``{"targets": [...]}``.  Responds 200 with
+  ordered per-item results; an undecodable or failing item yields an
+  error-carrying entry in its slot, never a 500 for the whole batch.
+* ``GET /v1/metrics`` — engine request counters
+  (:meth:`repro.service.metrics.EngineMetrics.summary`).
+* ``GET /v1/cache/stats`` — cache occupancy and hit/miss counters.
+* ``GET /healthz`` — liveness probe.
+
+Run a server::
+
+    PYTHONPATH=src python -m repro.service.http --port 8080 \
+        --cache-dir .imagen-cache --workers 4
+
+or embed one (tests, examples) with :func:`start_server`, and talk to it with
+the :class:`ServiceClient` helper (stdlib ``http.client``, no dependencies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.target import CompileTarget
+from repro.errors import ReproError
+from repro.service.engine import CompileEngine
+from repro.service.wire import (
+    WireFormatError,
+    batch_result_to_wire,
+    result_to_wire,
+    target_from_wire,
+    target_to_wire,
+)
+
+#: Upper bound on accepted request bodies; a pipeline DAG is a few KB, so
+#: anything near this is hostile or corrupt.
+MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8080
+
+
+class ServiceError(ReproError):
+    """A non-2xx response from the compile service."""
+
+
+class CompileServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the server's shared :class:`CompileEngine`."""
+
+    server_version = "ImaGenCompileService/1.0"
+    # HTTP/1.1 keeps client connections alive between requests; every
+    # response below carries an exact Content-Length, as 1.1 requires.
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def engine(self) -> CompileEngine:
+        return self.server.engine
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # ----------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/v1/metrics":
+            self._send(200, self.engine.metrics.summary())
+        elif self.path == "/v1/cache/stats":
+            self._send(200, self._cache_stats())
+        else:
+            self._send(404, {"error": f"Unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/v1/compile":
+            route = self._compile_one
+        elif self.path == "/v1/batch":
+            route = self._compile_batch
+        else:
+            self._send(404, {"error": f"Unknown path {self.path!r}"})
+            return
+        payload = self._read_json()
+        if payload is None:
+            return  # error response already sent
+        try:
+            route(payload)
+        except WireFormatError as exc:
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - errors must be JSON, not resets
+            # The service contract is "errors come back as JSON": an internal
+            # failure becomes a 500 body instead of an opaque dropped socket.
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _compile_one(self, payload) -> None:
+        # Accept the bare wire target, or {"target": {...}} for symmetry with
+        # the batch endpoint.
+        if isinstance(payload, dict) and "target" in payload:
+            payload = payload["target"]
+        target = target_from_wire(payload)
+        self._send(200, result_to_wire(self.engine.submit(target)))
+
+    def _compile_batch(self, payload) -> None:
+        if not isinstance(payload, dict) or not isinstance(payload.get("targets"), list):
+            raise WireFormatError('Batch body must be {"targets": [...]}')
+        decoded: list[CompileTarget | None] = []
+        decode_errors: dict[int, str] = {}
+        for index, item in enumerate(payload["targets"]):
+            try:
+                decoded.append(target_from_wire(item))
+            except WireFormatError as exc:
+                decoded.append(None)
+                decode_errors[index] = str(exc)
+        batch = self.engine.submit_batch([t for t in decoded if t is not None])
+        body = batch_result_to_wire(batch)
+        # Splice per-item decode failures back into request order: a bad
+        # item degrades to an error entry in its slot, not a 500.
+        compiled = iter(body["results"])
+        body["results"] = [
+            {"ok": False, "error": decode_errors[i], "fingerprint": "", "source": "error", "seconds": 0.0}
+            if target is None
+            else next(compiled)
+            for i, target in enumerate(decoded)
+        ]
+        self._send(200, body)
+
+    # -------------------------------------------------------------- plumbing
+    def _cache_stats(self) -> dict:
+        cache = self.engine.cache
+        stats = {
+            "entries": len(cache),
+            "max_entries": cache.max_entries,
+            **cache.stats.as_dict(),
+        }
+        if cache.store is not None:
+            stats["disk_entries"] = len(cache.store)
+            stats["disk_directory"] = str(cache.store.directory)
+        return stats
+
+    def _read_json(self):
+        """Parse the request body; on failure send the 4xx and return None."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = -1
+        if length < 0:
+            self._send(400, {"error": "Missing or invalid Content-Length"})
+            return None
+        if length > MAX_REQUEST_BYTES:
+            self._send(413, {"error": f"Request body exceeds {MAX_REQUEST_BYTES} bytes"})
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._send(400, {"error": "Request body is not valid JSON"})
+            return None
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may not have drained the request body; carrying on
+            # with keep-alive would let those bytes be parsed as the next
+            # request line and desync the connection.  Close instead.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class CompileServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one shared :class:`CompileEngine`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: CompileEngine,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.verbose = verbose
+        self._serve_thread: threading.Thread | None = None
+        super().__init__(address, CompileServiceHandler)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with the ephemeral ``port=0``)."""
+        return self.server_address[1]
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (the engine stays usable)."""
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10)
+            self._serve_thread = None
+
+
+def start_server(
+    engine: CompileEngine,
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    verbose: bool = False,
+) -> CompileServiceServer:
+    """Boot a service in a background thread; returns the bound server.
+
+    ``port=0`` binds an ephemeral port (read it back from ``server.port``) —
+    the shape tests and examples want.  Call :meth:`CompileServiceServer.stop`
+    when done; the engine's lifecycle stays with the caller.
+    """
+    server = CompileServiceServer((host, port), engine, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-http-serve", daemon=True
+    )
+    server._serve_thread = thread
+    thread.start()
+    return server
+
+
+class ServiceClient:
+    """Minimal stdlib client for the compile service.
+
+    One fresh ``http.client.HTTPConnection`` per request keeps the client
+    trivially thread-safe; responses are the parsed JSON bodies.  Non-2xx
+    responses raise :class:`ServiceError` (compile *failures* are 200s with
+    ``ok: false`` — inspect the returned dict).
+    """
+
+    def __init__(
+        self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, *, timeout: float = 120.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def compile(self, target: CompileTarget) -> dict:
+        """Compile one target remotely; returns the wire-format result."""
+        return self._request("POST", "/v1/compile", target_to_wire(target))
+
+    def compile_batch(self, targets) -> dict:
+        """Compile an ordered batch; per-item errors come back in their slots."""
+        return self._request(
+            "POST", "/v1/batch", {"targets": [target_to_wire(t) for t in targets]}
+        )
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def cache_stats(self) -> dict:
+        return self._request("GET", "/v1/cache/stats")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            data = {"error": raw[:200].decode("utf-8", "replace")}
+        if response.status >= 400:
+            raise ServiceError(
+                f"{method} {path} -> HTTP {response.status}: {data.get('error', data)}"
+            )
+        return data
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.http",
+        description="Serve ImaGen compile requests over HTTP/JSON.",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST, help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT, help="bind port (default: %(default)s)")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the persistent disk cache tier (default: memory-only)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="engine worker threads (default: REPRO_WORKERS or auto)"
+    )
+    parser.add_argument(
+        "--max-cache-entries", type=int, default=512, help="in-memory LRU capacity (default: %(default)s)"
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
+    args = parser.parse_args(argv)
+
+    engine = CompileEngine(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        max_cache_entries=args.max_cache_entries,
+    )
+    server = CompileServiceServer((args.host, args.port), engine, verbose=not args.quiet)
+    cache_note = f", cache-dir={args.cache_dir}" if args.cache_dir else ""
+    print(
+        f"imagen compile service on http://{args.host}:{server.port} "
+        f"(workers={engine.workers}{cache_note}) — Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        engine.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Stress tests for concurrent writers on one shared disk-cache volume.
+
+Regression for the shared-temp-path corruption bug: every writer of a
+fingerprint used to stage its JSON at the *same* ``<fp>.tmp`` path, so two
+processes (or threads — the file writes drop the GIL) could interleave their
+writes and atomically rename corrupt JSON into place.  With per-writer
+``mkstemp`` temp files, every rename publishes one writer's complete payload
+and every concurrent load parses.
+"""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.service.cache import DiskCacheStore
+
+#: One well-formed sharded fingerprint all writers fight over.
+FINGERPRINT = "ab" + "0" * 62
+
+#: Payloads are multi-kilobyte and writer-specific in size, so interleaved
+#: writes from two writers produce either invalid JSON or a blob whose length
+#: does not match its "writer" field — both detectable below.
+def _payload(writer_id: int) -> dict:
+    return {"writer": writer_id, "blob": "x" * (20_000 + writer_id * 1_009)}
+
+
+def _write_many(directory: str, writer_id: int, iterations: int) -> None:
+    store = DiskCacheStore(directory)
+    payload = _payload(writer_id)
+    for _ in range(iterations):
+        store.save(FINGERPRINT, payload)
+
+
+def _check(payload: dict) -> None:
+    assert payload["blob"] == _payload(payload["writer"])["blob"]
+
+
+class TestConcurrentSameFingerprintWrites:
+    def test_threads_and_second_process_never_publish_corrupt_json(self, tmp_path):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method for an in-repo child process")
+        iterations = 60
+        store = DiskCacheStore(tmp_path)
+        process = multiprocessing.get_context("fork").Process(
+            target=_write_many, args=(str(tmp_path), 9, iterations)
+        )
+        threads = [
+            threading.Thread(target=_write_many, args=(str(tmp_path), i, iterations))
+            for i in range(3)
+        ]
+        process.start()
+        for thread in threads:
+            thread.start()
+
+        # Read continuously while the writers race: every observed entry must
+        # be one writer's complete payload.
+        entry = store.path_for(FINGERPRINT)
+        observed = 0
+        try:
+            while process.is_alive() or any(t.is_alive() for t in threads):
+                try:
+                    text = entry.read_text(encoding="utf-8")
+                except FileNotFoundError:
+                    continue
+                _check(json.loads(text))  # raises on interleaved/corrupt writes
+                observed += 1
+        finally:
+            for thread in threads:
+                thread.join(timeout=30)
+            process.join(timeout=30)
+        assert observed > 0
+
+        # The final state parses too, through the store's own reader.
+        final = store.load(FINGERPRINT)
+        assert final is not None
+        _check(final)
+        # No temp litter left behind by any of the 4 * iterations saves.
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_concurrent_writers_leave_exactly_one_entry(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        threads = [
+            threading.Thread(target=_write_many, args=(str(tmp_path), i, 20))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(store) == 1
+
+
+class TestLegacyFlatTwins:
+    """Regression: a fingerprint at both the flat and sharded path counted twice."""
+
+    def _seed_twins(self, store: DiskCacheStore) -> None:
+        store.save(FINGERPRINT, {"tier": "sharded"})
+        store.legacy_path_for(FINGERPRINT).write_text(
+            json.dumps({"tier": "flat"}), encoding="utf-8"
+        )
+
+    def test_len_counts_each_fingerprint_once(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        self._seed_twins(store)
+        assert len(store) == 1
+
+    def test_clear_removes_both_twins(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        self._seed_twins(store)
+        store.clear()
+        assert list(tmp_path.rglob("*.json")) == []
+        assert len(store) == 0
+
+    def test_save_unlinks_the_legacy_entry_it_shadows(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        legacy = store.legacy_path_for(FINGERPRINT)
+        legacy.write_text(json.dumps({"tier": "flat"}), encoding="utf-8")
+        assert store.save(FINGERPRINT, {"tier": "sharded"})
+        assert not legacy.exists()
+        assert store.load(FINGERPRINT) == {"tier": "sharded"}
+        assert len(store) == 1
+
+    def test_clear_sweeps_stale_temp_files(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.save(FINGERPRINT, {"tier": "sharded"})
+        # A writer that died mid-save leaves its unique temp file behind.
+        (store.path_for(FINGERPRINT).parent / f"{FINGERPRINT}.dead123.tmp").write_text(
+            "{", encoding="utf-8"
+        )
+        store.clear()
+        assert list(tmp_path.rglob("*")) == [store.path_for(FINGERPRINT).parent]

@@ -1,5 +1,8 @@
 """Unit tests for the CompileEngine: caching, batching, dedup, DSE wiring."""
 
+import threading
+import time
+
 import pytest
 
 from repro.algorithms import build_algorithm
@@ -213,6 +216,140 @@ class TestSweepIntegration:
         assert [p.area_mm2 for p in from_coalesced] == [p.area_mm2 for p in from_plain]
         all_dp = next(p for p in from_coalesced if p.label == "all-DP")
         assert all_dp.accelerator.schedule.generator == "imagen"  # not "imagen+lc"
+
+
+class TestInlineSubmitDedup:
+    """Regression: inline ``submit`` must join the in-flight dedup table.
+
+    It used to call ``_execute`` directly, so a sync submit racing an
+    async/batch submit of the same fingerprint ran two solves — breaking the
+    engine's "exactly one solve" guarantee.
+    """
+
+    @pytest.fixture
+    def gated_solver(self, monkeypatch):
+        """Make every solve block on a gate, counting entries."""
+        import repro.service.engine as engine_mod
+
+        real = engine_mod.compile_pipeline
+        state = {
+            "calls": 0,
+            "entered": threading.Event(),
+            "release": threading.Event(),
+            "lock": threading.Lock(),
+        }
+
+        def gated(target, cache=None):
+            with state["lock"]:
+                state["calls"] += 1
+            state["entered"].set()
+            assert state["release"].wait(timeout=30)
+            return real(target, cache=cache)
+
+        monkeypatch.setattr(engine_mod, "compile_pipeline", gated)
+        yield state
+        state["release"].set()  # never leave blocked threads behind
+
+    def _race(self, engine, first, second, gate):
+        """Start ``first``, wait until it is solving, race ``second`` into it."""
+        results = {}
+        threads = [
+            threading.Thread(target=lambda: results.update(first=first())),
+        ]
+        threads[0].start()
+        assert gate["entered"].wait(timeout=30)
+        threads.append(threading.Thread(target=lambda: results.update(second=second())))
+        threads[1].start()
+        # Give the second submitter time to (wrongly) start its own solve
+        # before opening the gate; post-fix it is parked on the owner future.
+        time.sleep(0.3)
+        gate["release"].set()
+        for thread in threads:
+            thread.join(timeout=30)
+        return results
+
+    def test_sync_submit_joins_inflight_batch_solve(self, engine, gated_solver):
+        """Acceptance: mixed submit paths record exactly one ``compiled``."""
+        from repro.api import CompileTarget
+
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        results = self._race(
+            engine,
+            first=lambda: engine.submit_batch([target]),
+            second=lambda: engine.submit(target),
+            gate=gated_solver,
+        )
+        assert gated_solver["calls"] == 1  # exactly one solve ran
+        assert engine.metrics.compiled == 1
+        assert engine.metrics.deduplicated == 1
+        assert results["second"].source == "deduplicated"
+        assert (
+            results["second"].accelerator.schedule
+            is results["first"].results[0].accelerator.schedule
+        )
+
+    def test_batch_joins_inflight_inline_submit(self, engine, gated_solver):
+        """The reverse race: an inline submit owns the solve, a batch joins it."""
+        from repro.api import CompileTarget
+
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        results = self._race(
+            engine,
+            first=lambda: engine.submit(target),
+            second=lambda: engine.submit_batch([target]),
+            gate=gated_solver,
+        )
+        assert gated_solver["calls"] == 1
+        assert engine.metrics.compiled == 1
+        assert results["first"].source == "solver"
+        assert results["second"].results[0].source == "deduplicated"
+
+    def test_concurrent_inline_submits_share_one_solve(self, engine, gated_solver):
+        from repro.api import CompileTarget
+
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        results = self._race(
+            engine,
+            first=lambda: engine.submit(target),
+            second=lambda: engine.submit(target),
+            gate=gated_solver,
+        )
+        assert gated_solver["calls"] == 1
+        sources = sorted((results["first"].source, results["second"].source))
+        assert sources == ["deduplicated", "solver"]
+        assert engine.metrics.requests == 2
+        assert engine.metrics.compiled == 1
+
+    def test_inline_owner_future_is_cancel_proof(self, engine, gated_solver):
+        """A joiner cancelling the published future must not break the owner.
+
+        The inline future is marked running before publication, so cancel()
+        from e.g. a timed-out asyncio wrapper is a no-op instead of flipping
+        the future into a state where the owner's set_result() raises.
+        """
+        from repro.api import CompileTarget
+
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        results = {}
+        owner = threading.Thread(target=lambda: results.update(r=engine.submit(target)))
+        owner.start()
+        assert gated_solver["entered"].wait(timeout=30)
+        future = engine._inflight[target.fingerprint]
+        assert future.cancel() is False  # joiner cancels are no-ops
+        gated_solver["release"].set()
+        owner.join(timeout=30)
+        assert results["r"].ok and results["r"].source == "solver"
+        assert future.result(timeout=30).fingerprint == target.fingerprint
+
+    def test_sequential_submits_do_not_dedup(self, engine):
+        """No in-flight twin: the second submit is a plain cache hit."""
+        from repro.api import CompileTarget
+
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        assert engine.submit(target).source == "solver"
+        assert engine.submit(target).source == "memory"
+        assert engine.metrics.deduplicated == 0
+        assert not engine._inflight  # the inline future was unpublished
 
 
 class TestBaselineRequests:

@@ -1,0 +1,260 @@
+"""Unit tests for the stdlib HTTP serving front and ServiceClient."""
+
+import json
+import http.client
+
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.api import CompileTarget
+from repro.estimate.report import accelerator_report
+from repro.service import (
+    CompileEngine,
+    ServiceClient,
+    ServiceError,
+    start_server,
+    target_to_wire,
+)
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server on an ephemeral port + its engine + a client."""
+    engine = CompileEngine(workers=2, cache_dir=tmp_path / "cache")
+    server = start_server(engine)
+    yield ServiceClient(port=server.port), engine, server
+    server.stop()
+    engine.shutdown()
+
+
+def _raw_request(port, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+class TestCompileEndpoint:
+    def test_round_trip_matches_in_process_submit(self, service):
+        """Acceptance: HTTP compile == in-process engine.submit of the target."""
+        client, engine, _ = service
+        target = CompileTarget(
+            build_algorithm("unsharp-m"), image_width=W, image_height=H
+        )
+        remote = client.compile(target)
+        in_process = engine.submit(target)
+        assert remote["ok"] is True
+        assert remote["fingerprint"] == in_process.fingerprint
+        row = accelerator_report(in_process.accelerator).row()
+        assert remote["report"]["total_area_mm2"] == row["total_area_mm2"]
+        assert remote["report"]["total_power_mw"] == row["total_power_mw"]
+        assert remote["report"]["sram_kb"] == row["sram_kb"]
+
+    def test_repeat_request_is_a_cache_hit(self, service):
+        """Acceptance: the second identical request reports a cache-tier source."""
+        client, _, _ = service
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        first = client.compile(target)
+        second = client.compile(target)
+        assert first["source"] == "solver"
+        assert second["source"] in ("memory", "disk")
+        assert second["fingerprint"] == first["fingerprint"]
+
+    def test_fresh_engine_serves_from_shared_disk_cache(self, service, tmp_path):
+        """A second service process on the same cache volume gets disk hits."""
+        client, _, _ = service
+        target = CompileTarget(build_chain(4), image_width=W, image_height=H)
+        client.compile(target)
+        second_engine = CompileEngine(workers=1, cache_dir=tmp_path / "cache")
+        second_server = start_server(second_engine)
+        try:
+            repeat = ServiceClient(port=second_server.port).compile(target)
+            assert repeat["source"] == "disk"
+        finally:
+            second_server.stop()
+            second_engine.shutdown()
+
+    def test_compile_failure_is_ok_false_not_500(self, service):
+        client, _, _ = service
+        result = client.compile(
+            CompileTarget(build_chain(3), image_width=1, image_height=H)
+        )
+        assert result["ok"] is False
+        assert "SchedulingError" in result["error"]
+        assert "report" not in result
+
+    def test_wrapped_target_body_accepted(self, service):
+        client, _, server = service
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        status, body = _raw_request(
+            server.port,
+            "POST",
+            "/v1/compile",
+            body=json.dumps({"target": target_to_wire(target)}),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 200 and body["ok"] is True
+
+
+class TestBatchEndpoint:
+    def test_ordered_batch_with_per_item_errors(self, service):
+        client, _, _ = service
+        targets = [
+            CompileTarget(build_chain(3), image_width=W, image_height=H, label="a"),
+            CompileTarget(build_chain(3), image_width=1, image_height=H, label="bad"),
+            CompileTarget(build_chain(3), image_width=W, image_height=H, label="dup"),
+        ]
+        body = client.compile_batch(targets)
+        assert [r["ok"] for r in body["results"]] == [True, False, True]
+        assert [r.get("label") for r in body["results"]] == ["a", "bad", "dup"]
+        assert body["results"][2]["source"] in ("deduplicated", "memory", "disk")
+        assert body["seconds"] >= 0
+        assert body["cache_stats"]["misses"] >= 1
+
+    def test_undecodable_item_degrades_to_error_slot(self, service):
+        client, _, server = service
+        good = target_to_wire(
+            CompileTarget(build_chain(3), image_width=W, image_height=H)
+        )
+        bad = dict(good)
+        bad["resolution"] = "nonsense"
+        status, body = _raw_request(
+            server.port,
+            "POST",
+            "/v1/batch",
+            body=json.dumps({"targets": [good, bad, good]}),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 200  # per-item errors are JSON, not 500s
+        assert [r["ok"] for r in body["results"]] == [True, False, True]
+        assert "resolution" in body["results"][1]["error"]
+        assert body["results"][0]["fingerprint"] == body["results"][2]["fingerprint"]
+
+    def test_malformed_batch_body_is_400(self, service):
+        client, _, server = service
+        status, body = _raw_request(
+            server.port,
+            "POST",
+            "/v1/batch",
+            body=json.dumps({"jobs": []}),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 400
+        assert "targets" in body["error"]
+
+
+class TestOperationalEndpoints:
+    def test_healthz(self, service):
+        client, _, _ = service
+        assert client.health() == {"status": "ok"}
+
+    def test_metrics_reflect_served_requests(self, service):
+        client, _, _ = service
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        client.compile(target)
+        client.compile(target)
+        metrics = client.metrics()
+        assert metrics["requests"] == 2
+        assert metrics["compiled"] == 1
+        assert metrics["served_from_cache"] == 1
+
+    def test_cache_stats_include_occupancy_and_disk_tier(self, service):
+        client, _, _ = service
+        client.compile(CompileTarget(build_chain(3), image_width=W, image_height=H))
+        stats = client.cache_stats()
+        assert stats["entries"] == 1
+        assert stats["misses"] == 1
+        assert stats["disk_entries"] == 1
+        assert stats["disk_stores"] == 1
+
+    def test_unknown_path_is_404(self, service):
+        client, _, server = service
+        for method, path in (("GET", "/v1/nope"), ("POST", "/v2/compile")):
+            status, body = _raw_request(
+                server.port, method, path, body="{}" if method == "POST" else None
+            )
+            assert status == 404
+            assert path in body["error"]
+        with pytest.raises(ServiceError, match="404"):
+            ServiceClient(port=server.port)._request("GET", "/v1/nope")
+
+    def test_invalid_json_body_is_400(self, service):
+        client, _, server = service
+        status, body = _raw_request(
+            server.port,
+            "POST",
+            "/v1/compile",
+            body="{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 400
+        assert "JSON" in body["error"]
+
+    def test_keep_alive_connection_serves_multiple_requests(self, service):
+        _, _, server = service
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            for _ in range(3):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()  # drain so the connection can be reused
+        finally:
+            connection.close()
+
+    def test_error_responses_close_the_connection(self, service):
+        """Error paths may not drain the request body; keeping the HTTP/1.1
+        connection alive would desync it (body bytes parsed as the next
+        request line), so 4xx responses must carry Connection: close."""
+        _, _, server = service
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            connection.request(
+                "POST",
+                "/v1/nope",
+                body=json.dumps({"payload": "never drained"}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 404
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+
+    def test_internal_errors_become_500_json(self, service, monkeypatch):
+        """An unexpected exception in a route is a JSON 500, not a reset."""
+        _, engine, server = service
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(engine, "submit", boom)
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        status, body = _raw_request(
+            server.port,
+            "POST",
+            "/v1/compile",
+            body=json.dumps(target_to_wire(target)),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 500
+        assert "RuntimeError" in body["error"]
+
+    def test_undecodable_target_is_400(self, service):
+        client, _, server = service
+        status, body = _raw_request(
+            server.port,
+            "POST",
+            "/v1/compile",
+            body=json.dumps({"dag": {"stages": [], "edges": []}}),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 400
+        assert "error" in body
