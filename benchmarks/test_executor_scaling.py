@@ -1,0 +1,89 @@
+"""Executor-backend scaling guard: the process pool must pay for itself.
+
+The process backend exists to parallelize the pure-Python branch-and-bound /
+simplex fallback, which serializes on the GIL under the thread backend.  This
+guard compiles the full algorithm catalog (at several resolutions, all cold
+fingerprints, solver backend forced to ``python``) through a single-thread
+engine and through a warm process pool, and asserts the process pool is no
+slower — i.e. amortized multi-process fan-out at least breaks even against
+single-thread compilation, so fleet deployments can default to
+``REPRO_EXECUTOR=process`` without a throughput regression.
+
+Pool startup (fork + import) is paid once per engine, not per batch, so the
+pool is warmed before the timed run — a serving deployment keeps its pool
+alive across requests.  On single-core runners there is no parallelism to
+measure, only IPC overhead; the guard skips there (the parity suite still
+runs everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.algorithms import algorithm_names, build_algorithm
+from repro.api import CompileTarget
+from repro.core.scheduler import SchedulerOptions
+from repro.service import CompileEngine
+
+#: Per-catalog-copy resolutions: distinct widths keep every fingerprint cold.
+RESOLUTIONS = ((480, 320), (482, 320), (484, 320), (486, 320), (488, 320), (490, 320))
+
+
+def _targets() -> list[CompileTarget]:
+    # The GIL-bound fallback, with the auto-coalescing double solve: enough
+    # solver work per job that fan-out, not per-job IPC, decides the race.
+    options = SchedulerOptions(backend="python", coalescing=True)
+    return [
+        CompileTarget(
+            build_algorithm(name),
+            image_width=width,
+            image_height=height,
+            options=options,
+            label=f"{name}@{width}",
+        )
+        for width, height in RESOLUTIONS
+        for name in algorithm_names()
+    ]
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="process-pool scaling needs at least two cores to beat one thread",
+)
+def test_process_pool_catalog_batch_not_slower_than_single_thread(benchmark):
+    def race():
+        targets = _targets()
+        with CompileEngine(workers=1, executor="thread") as single:
+            start = time.perf_counter()
+            serial_batch = single.submit_batch(targets)
+            serial_seconds = time.perf_counter() - start
+        workers = min(4, os.cpu_count() or 1)
+        with CompileEngine(workers=workers, executor="process") as pooled:
+            # Warm the pool: fork + child imports are engine-lifetime costs.
+            pooled.submit_batch(targets[:workers])
+            start = time.perf_counter()
+            process_batch = pooled.submit_batch(targets[workers:])
+            process_seconds = time.perf_counter() - start
+        # Normalize to per-job throughput: the pools saw different job counts.
+        serial_rate = serial_seconds / len(targets)
+        process_rate = process_seconds / (len(targets) - workers)
+        return serial_batch, process_batch, serial_rate, process_rate, workers
+
+    serial_batch, process_batch, serial_rate, process_rate, workers = benchmark.pedantic(
+        race, rounds=1, iterations=1
+    )
+    assert all(result.ok for result in serial_batch.results)
+    assert all(result.ok for result in process_batch.results)
+    print(
+        f"\nCatalog batch (python solver backend): single-thread "
+        f"{serial_rate * 1000:.2f} ms/job, process pool ({workers} workers) "
+        f"{process_rate * 1000:.2f} ms/job ({serial_rate / process_rate:.2f}x)"
+    )
+    # "No slower", with a 10% allowance for scheduler/measurement noise.
+    assert process_rate <= serial_rate * 1.10, (
+        f"process pool {process_rate * 1000:.2f} ms/job vs single-thread "
+        f"{serial_rate * 1000:.2f} ms/job"
+    )

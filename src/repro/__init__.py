@@ -14,7 +14,9 @@ Public API
 * :mod:`repro.algorithms` — the Table-3 algorithm suite.
 * :mod:`repro.dse` — design-space exploration (Fig. 10), via ``target.with_options(...)``.
 * :mod:`repro.service` — compile cache + batch/parallel engine with sync,
-  asyncio and HTTP/JSON serving fronts (``python -m repro.service.http``).
+  asyncio and HTTP/JSON serving fronts (``python -m repro.service.http``)
+  and pluggable execution backends (``CompileEngine(executor=...)`` /
+  ``REPRO_EXECUTOR``: ``inline``, ``thread``, or ``process``).
 """
 
 from repro.api.fingerprint import compile_fingerprint, dag_fingerprint
@@ -35,11 +37,13 @@ from repro.memory.spec import (
     spartan7_fpga,
 )
 from repro.service import (
+    EXECUTOR_NAMES,
     CompileCache,
     CompileEngine,
     CompileRequest,
     CompileResult,
     DiskCacheStore,
+    ExecutorBackend,
 )
 
 __version__ = "1.2.0"
@@ -71,5 +75,7 @@ __all__ = [
     "CompileRequest",
     "CompileResult",
     "DiskCacheStore",
+    "EXECUTOR_NAMES",
+    "ExecutorBackend",
     "__version__",
 ]

@@ -1,4 +1,15 @@
-"""Common infrastructure for baseline generators."""
+"""Common infrastructure for baseline generators.
+
+Baseline schedules are first-class citizens of the serving stack: routed
+through :func:`repro.core.compile_pipeline`, they are content-addressed by
+generator-aware fingerprints, cached in *both* tiers of
+:class:`repro.service.cache.CompileCache` (their full line-buffer
+configurations serialize via
+:meth:`repro.memory.linebuffer.LineBufferConfig.to_payload`, so Darkroom /
+SODA / FixyNN designs persist through ``DiskCacheStore`` and across process
+boundaries exactly like optimized ones), and compiled on any engine executor
+backend, including the process pool.
+"""
 
 from __future__ import annotations
 

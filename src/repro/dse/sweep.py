@@ -16,11 +16,12 @@ The sweep is expressed in the unified request API: from one base
 ``base.with_options(...)`` target, so every design point carries the base
 target's memory spec and scheduler knobs.  The baseline compile that
 discovers the configurable buffers doubles as the all-DP design point, so it
-is never solved twice.  Passing an ``engine`` (or ``parallel=N``) routes every
-configuration through a :class:`repro.service.engine.CompileEngine`: designs
-compile concurrently, failures are captured per point instead of aborting the
-sweep, and the all-DP configuration is served from the cache entry the
-baseline compile warmed.
+is never solved twice.  Passing an ``engine`` (or ``parallel=N`` /
+``executor="process"``) routes every configuration through a
+:class:`repro.service.engine.CompileEngine`: designs compile concurrently on
+the engine's executor backend, failures are captured per point instead of
+aborting the sweep, and the all-DP configuration is served from the cache
+entry the baseline compile warmed.
 """
 
 from __future__ import annotations
@@ -118,6 +119,7 @@ def sweep_memory_configurations(
     sizing: str = "custom",
     engine=None,
     parallel: int | None = None,
+    executor: str | None = None,
 ) -> list[DesignPoint]:
     """Compile every DP/DPLC combination and return the evaluated design points.
 
@@ -134,14 +136,22 @@ def sweep_memory_configurations(
         ``image_width``/``image_height``/``memory_spec`` keywords.
     engine:
         Optional :class:`repro.service.engine.CompileEngine`.  All ``2^k``
-        configurations are submitted as one batch: compiles run on the
-        engine's worker pool, repeated design points are served from its
-        cache, and a design point that fails to compile is skipped (the sweep
-        only raises when *every* point fails).  Results are identical to the
-        serial path, in the same order.
+        configurations are submitted as one batch: compiles fan out over the
+        engine's executor backend (thread pool, process pool or inline —
+        whatever the engine was built with), repeated design points are
+        served from its cache, and a design point that fails to compile is
+        skipped (the sweep only raises when *every* point fails).  Results
+        are identical to the serial path, in the same order.
     parallel:
         Convenience: ``parallel=N`` builds a throwaway engine with ``N``
         workers for this sweep (ignored when ``engine`` is given).
+    executor:
+        Convenience: backend name for the throwaway engine
+        (``"inline"``/``"thread"``/``"process"``; default: the
+        ``REPRO_EXECUTOR`` environment variable or ``thread``).  Use
+        ``executor="process"`` to keep the ``2^k`` fan-out parallel when the
+        HiGHS backend is unavailable and thread workers would serialize on
+        the GIL.  Ignored when ``engine`` is given.
     """
     if isinstance(pipeline, CompileTarget):
         if image_width is not None or image_height is not None or memory_spec is not None:
@@ -168,10 +178,10 @@ def sweep_memory_configurations(
         )
 
     own_engine = False
-    if engine is None and parallel:
+    if engine is None and (parallel or executor):
         from repro.service.engine import CompileEngine
 
-        engine = CompileEngine(workers=parallel)
+        engine = CompileEngine(workers=parallel, executor=executor)
         own_engine = True
     try:
         baseline, configurable = _configurable_buffers(base, engine)

@@ -5,11 +5,18 @@ stage's intermediate buffer: how many line slots it stores, how those lines
 are packed into memory blocks, and how it is accessed.  It is produced by the
 allocator from a schedule, and consumed by the area/power estimators, the
 cycle simulator and the RTL generator.
+
+Both records (de)serialize through ``to_payload``/``from_payload``: plain
+JSON-compatible dictionaries that capture *every* physical field — block
+assignments, DFF pixels, FIFO chains, reader heights and the (possibly
+generator-adapted) memory spec.  This is what lets baseline designs, whose
+buffers cannot be re-derived by the ImaGen allocator, round-trip losslessly
+through the disk cache and across process boundaries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.memory.spec import MemorySpec
 
@@ -26,6 +33,26 @@ class BlockAssignment:
     @property
     def num_lines(self) -> int:
         return len(self.line_slots)
+
+    # --------------------------------------------------------------- payload
+    def to_payload(self) -> dict:
+        """Flatten into a JSON-compatible dictionary (see module docstring)."""
+        return {
+            "index": self.index,
+            "line_slots": list(self.line_slots),
+            "segment": self.segment,
+            "used_bits": self.used_bits,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BlockAssignment":
+        """Rebuild one block assignment from :meth:`to_payload` output."""
+        return cls(
+            index=int(payload["index"]),
+            line_slots=tuple(int(slot) for slot in payload["line_slots"]),
+            segment=int(payload.get("segment", 0)),
+            used_bits=int(payload.get("used_bits", 0)),
+        )
 
 
 @dataclass
@@ -80,4 +107,50 @@ class LineBufferConfig:
             f"LB[{self.producer}]: {self.lines} lines x {self.image_width}px, "
             f"{self.num_blocks} block(s) ({self.spec.name}), coalesce={self.coalesce_factor}, "
             f"style={self.style}"
+        )
+
+    # --------------------------------------------------------------- payload
+    def to_payload(self) -> dict:
+        """Flatten the full physical configuration into a JSON-compatible dict.
+
+        Lossless: every field, including the per-buffer memory spec (baseline
+        generators adapt the request spec, e.g. SODA rewrites it into FIFO
+        form) and the block assignments, survives a
+        :meth:`from_payload` round-trip bit-identically.
+        """
+        return {
+            "producer": self.producer,
+            "image_width": self.image_width,
+            "lines": self.lines,
+            "spec": asdict(self.spec),
+            "coalesce_factor": self.coalesce_factor,
+            "style": self.style,
+            "blocks": [block.to_payload() for block in self.blocks],
+            "dff_pixels": self.dff_pixels,
+            "fifo_chains": self.fifo_chains,
+            "reader_heights": dict(self.reader_heights),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LineBufferConfig":
+        """Rebuild a configuration from :meth:`to_payload` output."""
+        spec_payload = dict(payload["spec"])
+        known = {f.name for f in fields(MemorySpec)}
+        unknown = set(spec_payload) - known
+        if unknown:
+            raise ValueError(f"Unknown memory spec fields in payload: {sorted(unknown)}")
+        return cls(
+            producer=str(payload["producer"]),
+            image_width=int(payload["image_width"]),
+            lines=int(payload["lines"]),
+            spec=MemorySpec(**spec_payload),
+            coalesce_factor=int(payload.get("coalesce_factor", 1)),
+            style=str(payload.get("style", "sram")),
+            blocks=[BlockAssignment.from_payload(b) for b in payload.get("blocks", [])],
+            dff_pixels=int(payload.get("dff_pixels", 0)),
+            fifo_chains=int(payload.get("fifo_chains", 1)),
+            reader_heights={
+                str(name): int(height)
+                for name, height in payload.get("reader_heights", {}).items()
+            },
         )

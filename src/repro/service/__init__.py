@@ -4,16 +4,23 @@ This package turns :func:`repro.core.compile_pipeline` into a serving
 subsystem (the ROADMAP's "heavy traffic" direction).  Its unit of work is the
 unified :class:`repro.api.CompileTarget` request object:
 
-* :mod:`repro.service.cache` — two-tier (LRU + sharded disk) schedule cache;
-* :mod:`repro.service.jobs` — typed result/batch records (and the legacy
-  :class:`CompileRequest`, kept as a deprecated shim);
+* :mod:`repro.service.cache` — two-tier (LRU + sharded disk) schedule cache
+  with optional size/age GC for shared volumes;
+* :mod:`repro.service.jobs` — typed result/batch records, job execution
+  (including the process-pool wire-payload task) and the legacy
+  :class:`CompileRequest`, kept as a deprecated shim;
+* :mod:`repro.service.executor` — pluggable execution backends
+  (``inline``/``thread``/``process``), selected via
+  ``CompileEngine(executor=...)`` or ``REPRO_EXECUTOR``;
 * :mod:`repro.service.metrics` — per-request latency and hit-rate metrics;
 * :mod:`repro.service.engine` — the :class:`CompileEngine` front door, with
   synchronous (``submit``/``submit_batch``) and asyncio
-  (``submit_async``/``submit_batch_async``) serving fronts;
+  (``submit_async``/``submit_batch_async``) serving fronts plus opt-in
+  speculative pre-warming;
 * :mod:`repro.service.wire` — the JSON codec that round-trips
-  :class:`CompileTarget` requests and flattens results for the network
-  boundary;
+  :class:`CompileTarget` requests (and, losslessly, full schedules and
+  results — the process boundary's transport) and flattens results for the
+  network boundary;
 * :mod:`repro.service.http` — the stdlib HTTP/JSON serving front
   (``python -m repro.service.http``) plus the :class:`ServiceClient` helper.
 
@@ -45,7 +52,22 @@ from repro.service.cache import (
     deserialize_schedule,
     serialize_schedule,
 )
-from repro.service.engine import WORKERS_ENV_VAR, CompileEngine, default_worker_count
+from repro.service.engine import (
+    PREWARM_RESOLUTIONS,
+    WORKERS_ENV_VAR,
+    CompileEngine,
+    default_worker_count,
+)
+from repro.service.executor import (
+    EXECUTOR_ENV_VAR,
+    EXECUTOR_NAMES,
+    ExecutorBackend,
+    InlineExecutor,
+    ProcessExecutor,
+    ThreadExecutor,
+    default_executor_name,
+    validate_worker_count,
+)
 from repro.service.http import (
     CompileServiceServer,
     ServiceClient,
@@ -62,8 +84,14 @@ from repro.service.metrics import EngineMetrics, RequestTrace
 from repro.service.wire import (
     WIRE_FORMAT_VERSION,
     WireFormatError,
+    accelerator_from_wire,
+    accelerator_to_wire,
     batch_result_to_wire,
+    full_result_from_wire,
+    full_result_to_wire,
     result_to_wire,
+    schedule_from_wire,
+    schedule_to_wire,
     target_from_wire,
     target_to_wire,
 )
@@ -79,22 +107,37 @@ __all__ = [
     "CompileStatus",
     "CompileTarget",
     "DiskCacheStore",
+    "EXECUTOR_ENV_VAR",
+    "EXECUTOR_NAMES",
     "EngineMetrics",
+    "ExecutorBackend",
     "FINGERPRINT_VERSION",
+    "InlineExecutor",
+    "PREWARM_RESOLUTIONS",
+    "ProcessExecutor",
     "RequestTrace",
     "ServiceClient",
     "ServiceError",
+    "ThreadExecutor",
     "WIRE_FORMAT_VERSION",
     "WORKERS_ENV_VAR",
     "WireFormatError",
+    "accelerator_from_wire",
+    "accelerator_to_wire",
     "batch_result_to_wire",
     "compile_fingerprint",
     "dag_fingerprint",
+    "default_executor_name",
     "default_worker_count",
     "deserialize_schedule",
+    "full_result_from_wire",
+    "full_result_to_wire",
     "result_to_wire",
+    "schedule_from_wire",
+    "schedule_to_wire",
     "serialize_schedule",
     "start_server",
     "target_from_wire",
     "target_to_wire",
+    "validate_worker_count",
 ]

@@ -9,19 +9,25 @@ their own entry, so a later plain compile of the same pipeline reuses the
 fallback's non-coalesced solve.
 
 Fingerprints are generator-aware, so baseline designs (Darkroom/SODA/FixyNN)
-are cached exactly like optimized ones — but only in the memory tier: disk
-entries hold just the solver's decisions (start cycles and coalescing factors)
-plus the request geometry, and the physical line-buffer configurations are
-re-derived on load through
+are cached exactly like optimized ones — in both tiers.  ImaGen-generated
+disk entries hold just the solver's decisions (start cycles and coalescing
+factors) plus the request geometry: their physical line-buffer configurations
+are re-derived on load through
 :func:`repro.core.scheduler.realize_line_buffers`, which is a pure function of
-those decisions *for ImaGen-generated schedules only* (baselines use FIFO
-chains, dummy relay stages and other structures that do not round-trip).  A
-round-tripped ImaGen schedule produces bit-identical area and power reports.
+those decisions, so the payloads stay small and always match what the
+allocator would produce today.  Baseline schedules use FIFO chains, dummy
+relay stages and other structures the allocator cannot re-derive, so their
+payloads embed the full line-buffer configurations instead
+(:meth:`repro.memory.linebuffer.LineBufferConfig.to_payload`).  Either way, a
+round-tripped schedule produces bit-identical area and power reports.
 
 The disk store shards entries into two-hex-char fingerprint-prefix
 subdirectories (``ab/abcd....json``) so large shared cache volumes never hit
 flat-directory limits; entries written by pre-sharding versions of the
-library are still found at their legacy flat paths.
+library are still found at their legacy flat paths.  Shared volumes can be
+bounded with ``DiskCacheStore(max_bytes=..., max_age_seconds=...)``:
+least-recently-used entries (by file mtime — loads refresh it) are evicted
+whenever a save would exceed the bound.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -38,33 +45,48 @@ from repro.api.target import CompileTarget
 from repro.core.schedule import PipelineSchedule
 from repro.core.scheduler import realize_line_buffers
 from repro.ir.dag import PipelineDAG
+from repro.memory.linebuffer import LineBufferConfig
 from repro.memory.spec import MemorySpec
 
 #: Bump when the serialized payload layout changes; stale disk entries are
-#: treated as misses rather than errors.
-SCHEDULE_FORMAT_VERSION = 1
+#: treated as misses rather than errors.  Version 2 added the optional
+#: ``line_buffers`` field that makes baseline schedules persistable; version 1
+#: (decisions-only) entries are still readable.
+SCHEDULE_FORMAT_VERSION = 2
+
+_READABLE_VERSIONS = (1, 2)
 
 #: Result source markers shared with the engine's per-request accounting.
 SOURCE_MEMORY = "memory"
 SOURCE_DISK = "disk"
 SOURCE_SOLVER = "solver"
 
-#: Schedule generators whose disk payloads round-trip through
-#: :func:`realize_line_buffers`; everything else stays memory-tier only.
-_DISK_SAFE_GENERATORS = ("imagen", "imagen+lc")
+#: Schedule generators whose line buffers :func:`realize_line_buffers` can
+#: re-derive from the solver decisions alone; other generators' payloads must
+#: embed the full configurations.
+REALIZABLE_GENERATORS = ("imagen", "imagen+lc")
 
 
 # ---------------------------------------------------------------------------
 # Schedule (de)serialization
 # ---------------------------------------------------------------------------
-def serialize_schedule(schedule: PipelineSchedule) -> dict:
-    """Flatten a solved schedule into a JSON-serializable payload."""
+def serialize_schedule(
+    schedule: PipelineSchedule, *, include_line_buffers: bool | None = None
+) -> dict:
+    """Flatten a solved schedule into a JSON-serializable payload.
+
+    ``include_line_buffers`` controls whether the physical line-buffer
+    configurations are embedded verbatim: the default (``None``) embeds them
+    only for schedules the allocator cannot re-derive (baseline generators);
+    the wire codec forces ``True`` so process workers never depend on
+    re-derivation.
+    """
     stats = {
         key: value
         for key, value in schedule.solver_stats.items()
         if isinstance(value, (str, int, float, bool)) or value is None
     }
-    return {
+    payload = {
         "version": SCHEDULE_FORMAT_VERSION,
         "image_width": schedule.image_width,
         "image_height": schedule.image_height,
@@ -82,29 +104,50 @@ def serialize_schedule(schedule: PipelineSchedule) -> dict:
         "ports": int(stats.get("ports", schedule.memory_spec.ports)),
         "solver_stats": stats,
     }
+    if include_line_buffers is None:
+        include_line_buffers = schedule.generator not in REALIZABLE_GENERATORS
+    if include_line_buffers:
+        payload["line_buffers"] = {
+            name: config.to_payload() for name, config in schedule.line_buffers.items()
+        }
+    return payload
 
 
 def deserialize_schedule(payload: dict, dag: PipelineDAG) -> PipelineSchedule:
     """Rebuild a schedule from :func:`serialize_schedule` output.
 
     The caller supplies the pipeline DAG (cache keys already guarantee it is
-    structurally identical to the one that was compiled); line buffers are
-    re-derived rather than stored, which keeps payloads small and guarantees
-    they match what the allocator would produce today.
+    structurally identical to the one that was compiled).  Payloads embedding
+    explicit ``line_buffers`` restore them verbatim; decisions-only payloads
+    re-derive them through :func:`realize_line_buffers`, which keeps ImaGen
+    entries small and guarantees they match what the allocator would produce
+    today.
     """
-    if payload.get("version") != SCHEDULE_FORMAT_VERSION:
+    if payload.get("version") not in _READABLE_VERSIONS:
         raise ValueError(f"Unsupported schedule payload version {payload.get('version')!r}")
     memory_spec = MemorySpec(**payload["memory_spec"])
     start_cycles = {name: int(cycle) for name, cycle in payload["start_cycles"].items()}
     factors = {name: int(f) for name, f in payload["coalesce_factors"].items()}
-    line_buffers = realize_line_buffers(
-        dag,
-        int(payload["image_width"]),
-        memory_spec,
-        start_cycles,
-        factors,
-        int(payload["ports"]),
-    )
+    generator = payload.get("generator", "imagen")
+    if "line_buffers" in payload:
+        line_buffers = {
+            name: LineBufferConfig.from_payload(config)
+            for name, config in payload["line_buffers"].items()
+        }
+    elif generator in REALIZABLE_GENERATORS:
+        line_buffers = realize_line_buffers(
+            dag,
+            int(payload["image_width"]),
+            memory_spec,
+            start_cycles,
+            factors,
+            int(payload["ports"]),
+        )
+    else:
+        raise ValueError(
+            f"Schedule payload for generator {generator!r} carries no line "
+            "buffers and cannot be re-derived"
+        )
     return PipelineSchedule(
         dag=dag,
         image_width=int(payload["image_width"]),
@@ -121,6 +164,14 @@ def deserialize_schedule(payload: dict, dag: PipelineDAG) -> PipelineSchedule:
 # ---------------------------------------------------------------------------
 # Stores
 # ---------------------------------------------------------------------------
+def _unlink_quietly(path: Path) -> None:
+    """Remove a cache entry, tolerating concurrent evictors and odd volumes."""
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:
+        pass
+
+
 class DiskCacheStore:
     """Sharded directory of JSON files, one per fingerprint.
 
@@ -131,11 +182,46 @@ class DiskCacheStore:
 
     Writes go through a temp file + rename so concurrent readers never see a
     half-written entry; unreadable or stale entries degrade to cache misses.
+
+    Parameters
+    ----------
+    max_bytes:
+        When set, the total size of all entries is kept at or below this
+        bound: every save evicts least-recently-used entries (oldest mtime
+        first; successful loads refresh an entry's mtime) until the volume
+        fits.  The bound holds even when many writers share the volume —
+        each enforces it after its own write, and concurrent unlink races
+        degrade to no-ops.
+    max_age_seconds:
+        When set, entries whose mtime is older than this are evicted by a
+        sweep that runs on save, amortized to at most one per
+        ``min(max_age_seconds, 60)`` seconds per writer (an age bound is
+        advisory, unlike ``max_bytes``, which is re-verified on every save).
     """
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        max_bytes: int | None = None,
+        max_age_seconds: float | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_age_seconds is not None and max_age_seconds <= 0:
+            raise ValueError(f"max_age_seconds must be > 0, got {max_age_seconds}")
         self.directory = Path(directory)
+        self.max_bytes = max_bytes
+        self.max_age_seconds = max_age_seconds
+        # Age-only sweeps are amortized on a timer; see _maybe_collect_garbage.
+        self._gc_lock = threading.Lock()
+        self._last_age_sweep = float("-inf")
         self.directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def bounded(self) -> bool:
+        """Whether any size/age bound is configured (GC runs on save)."""
+        return self.max_bytes is not None or self.max_age_seconds is not None
 
     def path_for(self, fingerprint: str) -> Path:
         return self.directory / fingerprint[:2] / f"{fingerprint}.json"
@@ -148,11 +234,19 @@ class DiskCacheStore:
         for path in (self.path_for(fingerprint), self.legacy_path_for(fingerprint)):
             try:
                 with path.open("r", encoding="utf-8") as handle:
-                    return json.load(handle)
+                    payload = json.load(handle)
             except FileNotFoundError:
                 continue
             except (OSError, ValueError):
                 return None
+            if self.bounded:
+                # Refresh the mtime so the LRU-by-mtime GC sees hot entries
+                # as recently used, not as old as their write time.
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass  # a concurrent eviction won the race; the read stands
+            return payload
         return None
 
     def save(self, fingerprint: str, payload: dict) -> bool:
@@ -186,7 +280,78 @@ class DiskCacheStore:
             self.legacy_path_for(fingerprint).unlink(missing_ok=True)
         except OSError:
             pass  # the write itself succeeded; a stale twin is harmless
+        if self.bounded:
+            self._maybe_collect_garbage()
         return True
+
+    def _maybe_collect_garbage(self) -> None:
+        """Decide whether this save must pay for a volume scan.
+
+        ``max_bytes`` is a *hard* bound shared by writers that cannot see
+        each other, so every byte-bounded save re-verifies it with a scan —
+        a cheaper per-writer size estimate cannot rule out another process
+        having consumed the same headroom.  The scan is stat-only (no entry
+        is read) and O(entries); deployments for which that is too dear per
+        solve should prefer an age bound, which is advisory by nature and
+        therefore amortized here to at most one sweep per
+        ``min(max_age_seconds, 60)`` seconds per writer.
+        """
+        if self.max_bytes is not None:
+            self._collect_garbage()
+            return
+        interval = min(self.max_age_seconds, 60.0)
+        with self._gc_lock:
+            due = time.monotonic() - self._last_age_sweep >= interval
+        if due:
+            self._collect_garbage()
+
+    def _collect_garbage(self) -> None:
+        """Evict entries until the store fits its size/age bounds.
+
+        Strictly oldest-mtime-first, *including* the entry just written: if a
+        single entry alone exceeds ``max_bytes`` the bound still wins and the
+        entry degrades to a future cache miss.  Stat/unlink failures are
+        treated as "another writer already evicted it" — the routine is run
+        concurrently by every process sharing the volume.
+        """
+        entries = []
+        for path in list(self.directory.glob("??/*.json")) + list(
+            self.directory.glob("*.json")
+        ):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest mtime first == least recently used first
+        survivors = []
+        if self.max_age_seconds is not None:
+            deadline = time.time() - self.max_age_seconds
+            for entry in entries:
+                if entry[0] < deadline:
+                    _unlink_quietly(entry[2])
+                else:
+                    survivors.append(entry)
+            entries = survivors
+        if self.max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                _unlink_quietly(path)
+                total -= size
+        with self._gc_lock:
+            self._last_age_sweep = time.monotonic()
+
+    def total_bytes(self) -> int:
+        """Current total size of all entries (sharded + legacy flat)."""
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def _entry_paths(self):
         """One path per fingerprint (a sharded entry shadows its flat twin)."""
@@ -275,9 +440,7 @@ class CompileCache:
                 self._entries.move_to_end(fingerprint)
                 self.stats.hits += 1
                 return schedule, SOURCE_MEMORY, fingerprint
-        # Baseline designs are never persisted (their line buffers do not
-        # round-trip through realize_line_buffers), so skip the disk probe.
-        if self.store is not None and target.is_imagen:
+        if self.store is not None:
             payload = self.store.load(fingerprint)
             if payload is not None:
                 try:
@@ -298,14 +461,31 @@ class CompileCache:
 
     # ----------------------------------------------------------------- writes
     def put(self, fingerprint: str, schedule: PipelineSchedule) -> None:
-        """Record a freshly solved schedule under its fingerprint."""
+        """Record a freshly solved schedule under its fingerprint.
+
+        Every generator's schedules persist to the disk tier when one is
+        configured: ImaGen schedules as decisions-only payloads, baselines
+        with their full line-buffer configurations embedded (see
+        :func:`serialize_schedule`).
+        """
         with self._lock:
             self._insert(fingerprint, schedule)
             self.stats.stores += 1
-        if self.store is not None and schedule.generator in _DISK_SAFE_GENERATORS:
+        if self.store is not None:
             if self.store.save(fingerprint, serialize_schedule(schedule)):
                 with self._lock:
                     self.stats.disk_stores += 1
+
+    def absorb(self, fingerprint: str, schedule: PipelineSchedule) -> None:
+        """Adopt a schedule solved elsewhere into the memory tier only.
+
+        Used by the engine to warm its in-process LRU from results that a
+        process-pool worker computed (the worker already persisted them to
+        the shared disk tier, so no disk write and no ``stores`` counter —
+        this is bookkeeping, not a new solve).
+        """
+        with self._lock:
+            self._insert(fingerprint, schedule)
 
     def _insert(self, fingerprint: str, schedule: PipelineSchedule) -> None:
         self._entries[fingerprint] = schedule

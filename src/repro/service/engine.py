@@ -9,15 +9,29 @@ the :class:`repro.api.CompileTarget`; every submission path wraps
   fallback, baseline comparisons) are answered without re-running anything;
 * identical in-flight targets are deduplicated — concurrent batches that
   contain the same design point trigger exactly one run;
-* batches fan out over a thread pool (the HiGHS backend releases the GIL, so
-  independent solves overlap on multi-core hosts);
+* batches fan out over a pluggable :class:`repro.service.executor`
+  backend — ``inline`` (deterministic, for tests), ``thread`` (the default;
+  the HiGHS backend releases the GIL, so independent solves overlap on
+  multi-core hosts) or ``process`` (worker processes talking wire payloads,
+  which parallelizes the pure-Python solver fallback too) — selected via
+  ``CompileEngine(executor=...)`` or the ``REPRO_EXECUTOR`` environment
+  variable;
 * per-request latency and hit-rate metrics are recorded
   (:class:`repro.service.metrics.EngineMetrics`).
 
 Single targets submitted through :meth:`CompileEngine.submit` (or the
 :meth:`CompileEngine.compile` convenience wrapper) run inline on the calling
-thread — the pool is created lazily, so a cache-only engine costs nothing to
+thread — pools are created lazily, so a cache-only engine costs nothing to
 construct.
+
+Speculative pre-warming
+-----------------------
+``CompileEngine(prewarm=True)`` turns each single-target compile into a
+forecast: the engine background-submits the same design point at the other
+evaluation resolutions (320p/1080p by default) and with the coalescing flag
+toggled, so an interactive client stepping through the paper's design axes
+finds every next request already cached.  The in-flight dedup table makes
+speculation free when the client races it to the same fingerprint.
 
 Async front
 -----------
@@ -45,7 +59,7 @@ import os
 import threading
 import time
 import warnings
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from dataclasses import replace
 from typing import Iterable, Sequence
 
@@ -55,80 +69,111 @@ from repro.core.scheduler import SchedulerOptions
 from repro.ir.dag import PipelineDAG
 from repro.memory.spec import MemorySpec
 from repro.service.cache import CompileCache, DiskCacheStore
+from repro.service.executor import (
+    WORKERS_ENV_VAR,
+    ExecutorBackend,
+    relay_future,
+    resolve_executor,
+    validate_worker_count,
+)
 from repro.service.jobs import (
     SOURCE_DEDUPLICATED,
     BatchResult,
     CompileRequest,
     CompileResult,
+    derive_source,
 )
 from repro.service.metrics import EngineMetrics, RequestTrace
 
-#: Environment variable that overrides :func:`default_worker_count`, so
-#: deployments can size the pool without code changes.
-WORKERS_ENV_VAR = "REPRO_WORKERS"
+#: Resolutions speculatively pre-warmed by ``CompileEngine(prewarm=True)``:
+#: the paper's two evaluation sizes (320p and 1080p).
+PREWARM_RESOLUTIONS: tuple[tuple[int, int], ...] = ((480, 320), (1920, 1080))
 
 
 def default_worker_count() -> int:
     """Pool size used when the caller does not specify one.
 
-    The ``REPRO_WORKERS`` environment variable, when set to a positive
-    integer, takes precedence; anything unparsable or < 1 is ignored with a
-    :class:`RuntimeWarning`.
+    The ``REPRO_WORKERS`` environment variable, when set, takes precedence
+    and must be a positive integer — ``0``, negatives and garbage raise
+    :class:`ValueError` (they used to be ignored, which silently mis-sized
+    production pools).
     """
     override = os.environ.get(WORKERS_ENV_VAR, "").strip()
     if override:
-        try:
-            workers = int(override)
-        except ValueError:
-            workers = 0
-        if workers >= 1:
-            return workers
-        warnings.warn(
-            f"Ignoring invalid {WORKERS_ENV_VAR}={override!r} (need an integer >= 1)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        return validate_worker_count(override, source=WORKERS_ENV_VAR)
     return min(8, os.cpu_count() or 1)
 
 
 class CompileEngine:
-    """A compilation service instance: cache + worker pool + metrics.
+    """A compilation service instance: cache + executor backend + metrics.
 
     Parameters
     ----------
     workers:
-        Thread-pool size for batch submissions (default:
+        Pool size for batch submissions (default:
         :func:`default_worker_count`, overridable via ``REPRO_WORKERS``).
+    executor:
+        Execution backend for batch/async fan-out: ``"inline"``,
+        ``"thread"`` (default), ``"process"``, or a ready-made
+        :class:`repro.service.executor.ExecutorBackend` instance (which may
+        be shared between engines).  ``None`` consults the
+        ``REPRO_EXECUTOR`` environment variable.
     cache:
         A :class:`CompileCache` to share between engines; one is created when
         omitted.
     cache_dir:
         Convenience: when given (and ``cache`` is not), the created cache is
         backed by a :class:`DiskCacheStore` in this directory, so schedules
-        persist across processes.
+        persist across processes.  The process backend forwards this volume
+        to its workers.
     max_cache_entries:
         LRU capacity of the created cache.
+    prewarm:
+        Opt-in speculative pre-warming: each single-target compile
+        background-submits the target at the other ``prewarm_resolutions``
+        and with the coalescing flag toggled (see the module docstring).
+    prewarm_resolutions:
+        The resolutions speculation covers (default: the paper's 320p/1080p
+        evaluation sizes).
     """
 
     def __init__(
         self,
         workers: int | None = None,
         *,
+        executor: str | ExecutorBackend | None = None,
         cache: CompileCache | None = None,
         cache_dir: str | os.PathLike | None = None,
         max_cache_entries: int = 512,
+        prewarm: bool = False,
+        prewarm_resolutions: Sequence[tuple[int, int]] = PREWARM_RESOLUTIONS,
     ) -> None:
-        if workers is not None and workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers is not None:
+            workers = validate_worker_count(workers)
         self.workers = workers or default_worker_count()
         if cache is None:
             store = DiskCacheStore(cache_dir) if cache_dir is not None else None
             cache = CompileCache(max_entries=max_cache_entries, store=store)
         self.cache = cache
+        store = self.cache.store
+        self._executor = resolve_executor(
+            executor,
+            workers=self.workers,
+            cache_dir=str(store.directory) if store is not None else None,
+            cache_max_bytes=store.max_bytes if store is not None else None,
+            cache_max_age_seconds=store.max_age_seconds if store is not None else None,
+        )
+        self.prewarm = prewarm
+        self.prewarm_resolutions = tuple(prewarm_resolutions)
         self.metrics = EngineMetrics()
-        self._pool: ThreadPoolExecutor | None = None
         self._inflight: dict[str, Future] = {}
+        self._prewarm_pending: set[Future] = set()
         self._lock = threading.Lock()
+
+    @property
+    def executor_name(self) -> str:
+        """Name of the active execution backend (``inline``/``thread``/``process``)."""
+        return self._executor.name
 
     # ------------------------------------------------------------- lifecycle
     def __enter__(self) -> "CompileEngine":
@@ -145,24 +190,14 @@ class CompileEngine:
         await asyncio.get_running_loop().run_in_executor(None, self.shutdown)
 
     def shutdown(self, wait: bool = True, *, cancel_pending: bool = False) -> None:
-        """Stop the worker pool (the cache and its disk store stay usable).
+        """Stop the executor backend (the cache and its disk store stay usable).
 
         ``cancel_pending=True`` additionally cancels queued-but-unstarted
         jobs: their futures (and any :func:`asyncio.wrap_future` wrappers
-        awaiting them) resolve with ``CancelledError``.
+        awaiting them) resolve with ``CancelledError``.  The engine stays
+        usable — the next batch submission transparently recreates the pool.
         """
-        with self._lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=wait, cancel_futures=cancel_pending)
-
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        with self._lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="repro-compile"
-                )
-            return self._pool
+        self._executor.shutdown(wait, cancel_pending=cancel_pending)
 
     # -------------------------------------------------------- normalization
     @staticmethod
@@ -232,17 +267,28 @@ class CompileEngine:
         return self.submit(target).unwrap()
 
     def submit(self, target: CompileTarget | CompileRequest) -> CompileResult:
-        """Run one target inline on the calling thread, via the cache.
+        """Run one target synchronously, via the cache.
 
-        Inline submits take part in the engine-wide in-flight deduplication:
-        if an identical fingerprint is already being solved (by a batch, an
-        async client, or another thread's inline submit), this call waits for
-        that solve and reports ``source="deduplicated"`` instead of running a
-        second one; otherwise it publishes its own future so concurrent
-        submitters of the same target join it.
+        With the in-process backends (``inline``/``thread``) the job runs on
+        the calling thread; with a remote backend (``process``) a job that
+        the parent's memory tier cannot answer is shipped to a worker, so a
+        cold pure-Python solve never blocks the serving process on the GIL —
+        warm repeats are still answered in-process in microseconds.
+
+        Either way the submit takes part in the engine-wide in-flight
+        deduplication: if an identical fingerprint is already being solved
+        (by a batch, an async client, or another thread's submit), this call
+        waits for that solve and reports ``source="deduplicated"`` instead of
+        running a second one; otherwise it publishes its own future so
+        concurrent submitters of the same target join it.
         """
         target = self._as_target(target)
         fingerprint = target.fingerprint
+        if self._executor.remote and not self._answerable_inline(target, fingerprint):
+            future, owner = self._enqueue(target, fingerprint, {})
+            outcome: CompileResult = future.result()
+            self._speculate(target)
+            return self._collect(target, future=None, outcome=outcome, owner=owner)
         future: Future = Future()
         # Mark the future running *before* publishing it: a joiner whose
         # asyncio wrapper gets cancelled would otherwise cancel() the pending
@@ -265,6 +311,7 @@ class CompileEngine:
             raise
         future.set_result(result)
         self._clear_inflight(fingerprint)
+        self._speculate(target)
         return self._collect(target, future=None, outcome=result, owner=True)
 
     async def submit_async(self, target: CompileTarget | CompileRequest) -> CompileResult:
@@ -278,6 +325,7 @@ class CompileEngine:
         target = self._as_target(target)
         future, owner = self._enqueue(target, target.fingerprint, {})
         outcome: CompileResult = await asyncio.wrap_future(future)
+        self._speculate(target)
         return self._collect(target, future=None, outcome=outcome, owner=owner)
 
     # ----------------------------------------------------------------- batch
@@ -335,27 +383,147 @@ class CompileEngine:
         )
 
     # ------------------------------------------------------------- internals
+    def _answerable_inline(self, target: CompileTarget, fingerprint: str) -> bool:
+        """Whether a submit can be served from the parent's memory tier alone.
+
+        Used by remote backends to keep warm repeats in-process: when every
+        schedule the compile would consult is already in the memory LRU,
+        running it inline is a dictionary lookup, not GIL-bound solver work.
+        """
+        options = target.options
+        if (
+            target.is_imagen
+            and options.coalescing
+            and options.coalescing_policy == "auto"
+        ):
+            # The auto fallback consults two entries: the coalesced solve and
+            # the plain one it compares against.
+            plain = target.with_options(coalescing=False)
+            return fingerprint in self.cache and plain.fingerprint in self.cache
+        return fingerprint in self.cache
+
     def _enqueue(
         self, target: CompileTarget, fingerprint: str, local: dict[str, Future]
     ) -> tuple[Future, bool]:
-        """Queue one target on the pool, deduplicating against ``local`` and
-        the engine-wide in-flight table.  Returns ``(future, owner)``."""
+        """Queue one target on the executor backend, deduplicating against
+        ``local`` and the engine-wide in-flight table.  Returns
+        ``(future, owner)``.
+
+        The published future is a placeholder the backend's future relays
+        into, so the actual ``executor.submit`` happens *outside* the engine
+        lock — the inline backend runs whole compiles in ``submit``, and the
+        process backend wire-encodes the target there; neither may stall
+        every other engine operation.  (Marked running before publication for
+        the same cancel-proofing as inline submits.)
+        """
         future = local.get(fingerprint)
         if future is not None:
             return future, False
-        pool = self._ensure_pool()
         with self._lock:
             future = self._inflight.get(fingerprint)
             owner = future is None
             if owner:
-                future = pool.submit(self._execute, target, fingerprint)
+                future = Future()
+                future.set_running_or_notify_cancel()
                 self._inflight[fingerprint] = future
         if owner:
             # Registered outside the lock: if the job already finished, the
-            # callback runs inline and must be able to take the lock.
+            # callbacks run inline and must be able to take the lock.
+            if self._executor.remote:
+                future.add_done_callback(self._absorb_remote_result)
             future.add_done_callback(lambda _f, fp=fingerprint: self._clear_inflight(fp))
+            try:
+                inner = self._executor.submit(self._execute, target, fingerprint)
+            except BaseException as exc:
+                # The placeholder is already published: settle it so joiners
+                # unblock with the same failure and the done-callbacks clear
+                # the in-flight table — a fingerprint must never dedup
+                # against a future that can no longer resolve.
+                future.set_exception(exc)
+                raise
+            inner.add_done_callback(
+                lambda done, out=future: relay_future(done, out)
+            )
         local[fingerprint] = future
         return future, owner
+
+    def _absorb_remote_result(self, future: Future) -> None:
+        """Adopt a worker process's solve into the in-memory cache tier.
+
+        Only single-solve results are adopted: the auto-coalescing fallback
+        records *two* fingerprints but the wire result carries only the
+        winning (possibly relabelled ``imagen+lc``) schedule, which must not
+        be filed under either raw solve's key.  The disk tier — which the
+        worker already wrote both solves to — covers those.
+        """
+        if future.cancelled() or future.exception() is not None:
+            return
+        result: CompileResult = future.result()
+        if result.accelerator is None:
+            return
+        fingerprints = result.accelerator.metadata.get("schedule_fingerprints", ())
+        if len(fingerprints) == 1:
+            self.cache.absorb(fingerprints[0], result.accelerator.schedule)
+
+    # ------------------------------------------------------------ speculation
+    def _speculate(self, target: CompileTarget) -> None:
+        """Background-submit the likely next requests after ``target``.
+
+        Fire-and-forget and strictly best-effort: speculative jobs go through
+        the normal dedup table (so a real request racing one simply joins
+        it), never touch the request metrics — they are the engine's own
+        work, not a client's — and never let a speculation failure (broken
+        pool, unserializable variant) surface on the triggering request.
+
+        "Background" is as asynchronous as the active backend: the thread
+        and process pools truly run speculation off the caller's path, while
+        the ``inline`` backend — having no concurrency by design — compiles
+        the variants synchronously before returning.
+        """
+        if not self.prewarm or not target.is_imagen:
+            return
+        variants = [
+            target.with_resolution(width, height)
+            for width, height in self.prewarm_resolutions
+            if (width, height) != target.resolution
+        ]
+        variants.append(
+            target.with_options(coalescing=not target.options.coalescing)
+        )
+        for variant in variants:
+            try:
+                future, owner = self._enqueue(variant, variant.fingerprint, {})
+            except Exception:
+                continue  # the client's own result must never pay for this
+            if owner:
+                with self._lock:
+                    self._prewarm_pending.add(future)
+                future.add_done_callback(self._discard_prewarm)
+
+    def _discard_prewarm(self, future: Future) -> None:
+        with self._lock:
+            self._prewarm_pending.discard(future)
+
+    def wait_prewarm(self, timeout: float | None = None) -> bool:
+        """Block until in-flight speculative jobs settle (for tests/shutdown).
+
+        Returns ``False`` when jobs are still pending after ``timeout``
+        seconds.  Speculative failures are deliberately swallowed — a
+        speculation that cannot compile just means no warm cache entry.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                pending = next(iter(self._prewarm_pending), None)
+            if pending is None:
+                return True
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
+            try:
+                pending.result(timeout=remaining)
+            except (Exception, asyncio.CancelledError):
+                pass  # captured per-job; speculation is best-effort
 
     def _enqueue_all(
         self, targets: list[CompileTarget]
@@ -394,6 +562,9 @@ class CompileEngine:
             self._inflight.pop(fingerprint, None)
 
     def _execute(self, target: CompileTarget, fingerprint: str) -> CompileResult:
+        # Kept on the engine (rather than delegating to jobs.execute_target)
+        # so the module-level compile_pipeline stays the single patch point
+        # for instrumenting in-process solves.
         started = time.perf_counter()
         try:
             accelerator = compile_pipeline(target, cache=self.cache)
@@ -404,16 +575,11 @@ class CompileEngine:
                 error=f"{type(exc).__name__}: {exc}",
                 seconds=time.perf_counter() - started,
             )
-        sources = accelerator.metadata.get("schedule_sources", ("solver",))
-        if all(source in ("memory", "disk") for source in sources):
-            source = "disk" if "disk" in sources else "memory"
-        else:
-            source = "solver"
         return CompileResult(
             target=target,
             fingerprint=fingerprint,
             accelerator=accelerator,
-            source=source,
+            source=derive_source(accelerator),
             seconds=time.perf_counter() - started,
         )
 
@@ -434,6 +600,7 @@ class CompileEngine:
     def describe(self) -> str:
         stats = self.cache.stats
         return (
-            f"CompileEngine(workers={self.workers}, cache={len(self.cache)}/{self.cache.max_entries} "
-            f"entries, hits={stats.hits}, misses={stats.misses}, hit_rate={stats.hit_rate:.1%})"
+            f"CompileEngine(executor={self.executor_name}, workers={self.workers}, "
+            f"cache={len(self.cache)}/{self.cache.max_entries} entries, "
+            f"hits={stats.hits}, misses={stats.misses}, hit_rate={stats.hit_rate:.1%})"
         )

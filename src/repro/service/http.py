@@ -26,10 +26,15 @@ Endpoints
 Run a server::
 
     PYTHONPATH=src python -m repro.service.http --port 8080 \
-        --cache-dir .imagen-cache --workers 4
+        --cache-dir .imagen-cache --workers 4 --executor process
 
 or embed one (tests, examples) with :func:`start_server`, and talk to it with
 the :class:`ServiceClient` helper (stdlib ``http.client``, no dependencies).
+``--executor`` selects the engine's execution backend (default: the
+``REPRO_EXECUTOR`` environment variable, falling back to ``thread``); the
+``process`` backend keeps compiles parallel even on the pure-Python solver
+fallback.  ``--cache-max-bytes``/``--cache-max-age-seconds`` bound a shared
+disk cache volume (LRU-by-mtime eviction on save).
 """
 
 from __future__ import annotations
@@ -42,7 +47,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.api.target import CompileTarget
 from repro.errors import ReproError
+from repro.service.cache import CompileCache, DiskCacheStore
 from repro.service.engine import CompileEngine
+from repro.service.executor import EXECUTOR_NAMES, validate_worker_count
 from repro.service.wire import (
     WireFormatError,
     batch_result_to_wire,
@@ -84,7 +91,10 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             self._send(200, {"status": "ok"})
         elif self.path == "/v1/metrics":
-            self._send(200, self.engine.metrics.summary())
+            summary = self.engine.metrics.summary()
+            summary["executor"] = self.engine.executor_name
+            summary["workers"] = self.engine.workers
+            self._send(200, summary)
         elif self.path == "/v1/cache/stats":
             self._send(200, self._cache_stats())
         else:
@@ -153,6 +163,10 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         if cache.store is not None:
             stats["disk_entries"] = len(cache.store)
             stats["disk_directory"] = str(cache.store.directory)
+            if cache.store.bounded:
+                stats["disk_bytes"] = cache.store.total_bytes()
+                stats["disk_max_bytes"] = cache.store.max_bytes
+                stats["disk_max_age_seconds"] = cache.store.max_age_seconds
         return stats
 
     def _read_json(self):
@@ -311,7 +325,25 @@ def main(argv=None) -> None:
         help="directory for the persistent disk cache tier (default: memory-only)",
     )
     parser.add_argument(
-        "--workers", type=int, default=None, help="engine worker threads (default: REPRO_WORKERS or auto)"
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="size bound for the disk cache volume; LRU entries are evicted on save",
+    )
+    parser.add_argument(
+        "--cache-max-age-seconds",
+        type=float,
+        default=None,
+        help="age bound for disk cache entries; stale entries are evicted on save",
+    )
+    parser.add_argument(
+        "--workers", default=None, help="engine pool size (default: REPRO_WORKERS or auto)"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default=None,
+        help="execution backend for batch fan-out (default: REPRO_EXECUTOR or thread)",
     )
     parser.add_argument(
         "--max-cache-entries", type=int, default=512, help="in-memory LRU capacity (default: %(default)s)"
@@ -319,16 +351,36 @@ def main(argv=None) -> None:
     parser.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
     args = parser.parse_args(argv)
 
-    engine = CompileEngine(
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        max_cache_entries=args.max_cache_entries,
-    )
+    try:
+        workers = (
+            None
+            if args.workers is None
+            else validate_worker_count(args.workers, source="--workers")
+        )
+        cache = None
+        if args.cache_dir is not None:
+            store = DiskCacheStore(
+                args.cache_dir,
+                max_bytes=args.cache_max_bytes,
+                max_age_seconds=args.cache_max_age_seconds,
+            )
+            cache = CompileCache(max_entries=args.max_cache_entries, store=store)
+        elif args.cache_max_bytes is not None or args.cache_max_age_seconds is not None:
+            parser.error("--cache-max-bytes/--cache-max-age-seconds require --cache-dir")
+        engine = CompileEngine(
+            workers=workers,
+            executor=args.executor,
+            cache=cache,
+            max_cache_entries=args.max_cache_entries,
+        )
+    except ValueError as exc:  # bad --workers, REPRO_WORKERS, REPRO_EXECUTOR, bounds
+        parser.error(str(exc))
     server = CompileServiceServer((args.host, args.port), engine, verbose=not args.quiet)
     cache_note = f", cache-dir={args.cache_dir}" if args.cache_dir else ""
     print(
         f"imagen compile service on http://{args.host}:{server.port} "
-        f"(workers={engine.workers}{cache_note}) — Ctrl-C to stop"
+        f"(executor={engine.executor_name}, workers={engine.workers}{cache_note}) "
+        f"— Ctrl-C to stop"
     )
     try:
         server.serve_forever()

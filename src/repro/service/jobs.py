@@ -1,10 +1,19 @@
-"""Typed job records for the compilation service.
+"""Typed job records and job execution for the compilation service.
 
 The engine's unit of work is a :class:`repro.api.CompileTarget`; a
 :class:`CompileResult` carries the target it answered plus either the compiled
 accelerator or a captured error, so that one infeasible design point never
 aborts a batch or a DSE sweep.  :class:`BatchResult` aggregates a batch
 submission with its cache statistics and wall-clock time.
+
+:func:`execute_target` is the single place a job actually runs: it wraps
+:func:`repro.core.compile_pipeline`, captures per-design-point failures, and
+classifies the result source.  :func:`execute_wire_job` is its process-pool
+twin — a module-level (picklable) task whose input and output are *wire
+payloads* (:mod:`repro.service.wire`), never pickled closures, so the
+``process`` executor backend ships plain dictionaries across the boundary and
+stays immune to unpicklable DAG callbacks, monkeypatched modules, or
+library-version skew in what a worker returns.
 
 :class:`CompileRequest` is the legacy request record from before the unified
 target API.  Submitting one still works — the engine converts it via
@@ -15,16 +24,17 @@ target API.  Submitting one still works — the engine converts it via
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.api.target import CompileTarget
-from repro.core.compiler import CompiledAccelerator
+from repro.core.compiler import CompiledAccelerator, compile_pipeline
 from repro.core.scheduler import SchedulerOptions
 from repro.errors import ReproError
 from repro.ir.dag import PipelineDAG
 from repro.memory.spec import MemorySpec, asic_dual_port
-from repro.service.cache import CacheStats
+from repro.service.cache import CacheStats, CompileCache, DiskCacheStore
 
 
 class CompileStatus(enum.Enum):
@@ -181,3 +191,110 @@ class BatchResult:
             more = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
             raise ReproError(f"{len(failures)}/{len(self.results)} compile jobs failed: {summary}{more}")
         return self
+
+
+# ---------------------------------------------------------------------------
+# Job execution
+# ---------------------------------------------------------------------------
+def derive_source(accelerator: CompiledAccelerator) -> str:
+    """Classify where a compiled design came from.
+
+    A compile may consult the cache more than once (the auto-coalescing
+    fallback runs two solves): the result counts as cached only when *every*
+    consulted source was a cache tier, and as ``"disk"`` only when the disk
+    tier was actually touched.
+    """
+    sources = accelerator.metadata.get("schedule_sources", ("solver",))
+    if all(source in ("memory", "disk") for source in sources):
+        return "disk" if "disk" in sources else "memory"
+    return "solver"
+
+
+def execute_target(
+    target: CompileTarget, cache: CompileCache | None, fingerprint: str | None = None
+) -> CompileResult:
+    """Run one compile job, capturing failures instead of raising.
+
+    This is the body every executor backend ultimately runs — on the calling
+    thread (``inline``), on a pool thread (``thread``), or inside a worker
+    process (``process``, via :func:`execute_wire_job`).  One bad design
+    point yields an error-carrying :class:`CompileResult` so it can never
+    kill a batch or a sweep.
+    """
+    fingerprint = fingerprint or target.fingerprint
+    started = time.perf_counter()
+    try:
+        accelerator = compile_pipeline(target, cache=cache)
+    except Exception as exc:
+        return CompileResult(
+            target=target,
+            fingerprint=fingerprint,
+            error=f"{type(exc).__name__}: {exc}",
+            seconds=time.perf_counter() - started,
+        )
+    return CompileResult(
+        target=target,
+        fingerprint=fingerprint,
+        accelerator=accelerator,
+        source=derive_source(accelerator),
+        seconds=time.perf_counter() - started,
+    )
+
+
+#: Per-worker-process compile caches, one per disk-volume configuration
+#: (``(directory, max_bytes, max_age_seconds)``; directory ``None`` = one
+#: memory-only cache shared by every engine without a disk store).
+#: Module-level so they survive across the tasks one worker process serves.
+_WORKER_CACHES: dict[tuple, CompileCache] = {}
+
+#: Memory-tier LRU capacity of each worker-process cache.  Deliberately small:
+#: the authoritative tiers are the parent engine's LRU and the shared disk
+#: volume; this only short-circuits repeats landing on the same worker.
+WORKER_CACHE_ENTRIES = 128
+
+
+def _worker_cache(
+    cache_dir: str | None,
+    max_bytes: int | None = None,
+    max_age_seconds: float | None = None,
+) -> CompileCache:
+    key = (cache_dir, max_bytes, max_age_seconds)
+    cache = _WORKER_CACHES.get(key)
+    if cache is None:
+        store = (
+            DiskCacheStore(
+                cache_dir, max_bytes=max_bytes, max_age_seconds=max_age_seconds
+            )
+            if cache_dir
+            else None
+        )
+        cache = CompileCache(max_entries=WORKER_CACHE_ENTRIES, store=store)
+        _WORKER_CACHES[key] = cache
+    return cache
+
+
+def execute_wire_job(
+    payload: dict,
+    cache_dir: str | None = None,
+    cache_max_bytes: int | None = None,
+    cache_max_age_seconds: float | None = None,
+) -> dict:
+    """Process-pool task: wire-format target in, wire-format result out.
+
+    Runs inside a ``ProcessPoolExecutor`` worker.  The target arrives as a
+    :func:`repro.service.wire.target_to_wire` payload and the full result —
+    schedule, line buffers, metadata, captured error — returns as a
+    :func:`repro.service.wire.full_result_to_wire` payload, so nothing
+    fragile is ever pickled across the process boundary.  ``cache_dir``
+    points the worker at the engine's shared disk volume: workers persist
+    what they solve there, and a design one process solved is loaded warm by
+    every other process sharing the volume.  The GC bounds travel with it,
+    so a ``max_bytes`` limit holds no matter which process does the saving.
+    """
+    from repro.service.wire import full_result_to_wire, target_from_wire
+
+    target = target_from_wire(payload)
+    result = execute_target(
+        target, _worker_cache(cache_dir, cache_max_bytes, cache_max_age_seconds)
+    )
+    return full_result_to_wire(result)

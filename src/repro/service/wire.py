@@ -15,6 +15,17 @@ module defines the (de)serialization of the two objects that cross it:
   into fingerprint + source + seconds plus the area/power summary of
   :func:`repro.estimate.report.accelerator_report` — the metrics the paper
   reports per design point, without shipping a whole schedule.
+* :func:`schedule_to_wire` / :func:`schedule_from_wire`,
+  :func:`accelerator_to_wire` / :func:`accelerator_from_wire` and
+  :func:`full_result_to_wire` / :func:`full_result_from_wire` are the
+  *lossless* tier: the complete solved design — start cycles, coalesce
+  factors, solver stats, and every physical line-buffer configuration
+  (block assignments, DFF pixels, FIFO chains, per-buffer memory specs) —
+  round-trips bit-identically.  This is what the ``process`` executor backend
+  ships back from worker processes instead of pickled objects, and what lets
+  baseline (Darkroom/SODA/FixyNN) schedules, whose line buffers cannot be
+  re-derived by the ImaGen allocator, persist through
+  :class:`repro.service.cache.DiskCacheStore`.
 
 The layout mirrors the canonical serialization used for fingerprinting
 (:mod:`repro.api.fingerprint` / ``PipelineDAG.canonical_form``): memory specs
@@ -36,12 +47,15 @@ from dataclasses import asdict, fields
 
 from repro.api.fingerprint import normalize_memory_spec
 from repro.api.target import CompileTarget
+from repro.core.compiler import CompiledAccelerator
+from repro.core.schedule import PipelineSchedule
 from repro.core.scheduler import SchedulerOptions
 from repro.dsl import ast
 from repro.estimate.report import accelerator_report
 from repro.ir.dag import PipelineDAG, Stage
 from repro.ir.stencil import StencilWindow
 from repro.memory.spec import MemorySpec
+from repro.service.cache import deserialize_schedule, serialize_schedule
 from repro.service.jobs import BatchResult, CompileResult
 
 #: Bump when the wire layout changes incompatibly; requests carrying another
@@ -338,3 +352,120 @@ def batch_result_to_wire(batch: BatchResult) -> dict:
     if batch.cache_stats is not None:
         payload["cache_stats"] = batch.cache_stats.as_dict()
     return payload
+
+
+# ---------------------------------------------------------------------------
+# Lossless schedules / accelerators / results (the process-boundary tier)
+# ---------------------------------------------------------------------------
+def schedule_to_wire(schedule: PipelineSchedule) -> dict:
+    """Serialize a full solved schedule, line buffers included.
+
+    Unlike the disk-cache payload for ImaGen schedules — which stores only
+    the solver decisions and re-derives the buffers on load — the wire form
+    always embeds every physical :class:`LineBufferConfig`, so the receiving
+    side reconstructs the design without running any allocator code.
+    """
+    return serialize_schedule(schedule, include_line_buffers=True)
+
+
+def schedule_from_wire(payload: dict, dag: PipelineDAG) -> PipelineSchedule:
+    """Rebuild a schedule from :func:`schedule_to_wire` output.
+
+    The caller supplies the DAG (the wire result travels next to the target
+    that produced it, and content fingerprints guarantee they match).
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError(f"Schedule must be an object, got {type(payload).__name__}")
+    try:
+        return deserialize_schedule(payload, dag)
+    except WireFormatError:
+        raise
+    except Exception as exc:  # bad spec fields, missing stages, version skew
+        raise WireFormatError(f"Invalid schedule payload: {exc}") from None
+
+
+#: Accelerator metadata keys the compiler records as tuples; JSON turns them
+#: into lists, so decoding restores the tuple shape callers compare against.
+_TUPLE_METADATA_KEYS = ("schedule_sources", "schedule_fingerprints")
+
+
+def accelerator_to_wire(accelerator: CompiledAccelerator) -> dict:
+    """Serialize a :class:`CompiledAccelerator` (schedule + compile metadata).
+
+    The target and options are *not* shipped: a wire accelerator always
+    travels as part of a result that answers a concrete target, and
+    :func:`accelerator_from_wire` reattaches the receiver's own target
+    object, which keeps labels and caller metadata by reference.
+    """
+    metadata = {}
+    for key, value in accelerator.metadata.items():
+        metadata[key] = list(value) if isinstance(value, tuple) else value
+    return {
+        "schedule": schedule_to_wire(accelerator.schedule),
+        "metadata": metadata,
+    }
+
+
+def accelerator_from_wire(payload: dict, target: CompileTarget) -> CompiledAccelerator:
+    """Rebuild an accelerator from :func:`accelerator_to_wire` output."""
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"Accelerator must be an object, got {type(payload).__name__}"
+        )
+    metadata = dict(payload.get("metadata") or {})
+    for key in _TUPLE_METADATA_KEYS:
+        if key in metadata and isinstance(metadata[key], list):
+            metadata[key] = tuple(metadata[key])
+    return CompiledAccelerator(
+        schedule=schedule_from_wire(_require(payload, "schedule", "accelerator"), target.dag),
+        options=target.options,
+        metadata=metadata,
+        target=target,
+    )
+
+
+def full_result_to_wire(result: CompileResult) -> dict:
+    """Serialize one :class:`CompileResult` losslessly (process boundary).
+
+    The flat :func:`result_to_wire` form is for network clients that only
+    want the paper's metrics; this form carries the whole design so the
+    parent engine can hand callers the same accelerator object graph a
+    thread-backend compile would have produced.
+    """
+    payload = {
+        "fingerprint": result.fingerprint,
+        "source": result.source,
+        "seconds": result.seconds,
+    }
+    if result.error is not None:
+        payload["error"] = result.error
+    if result.accelerator is not None:
+        payload["accelerator"] = accelerator_to_wire(result.accelerator)
+    return payload
+
+
+def full_result_from_wire(payload: dict, target: CompileTarget) -> CompileResult:
+    """Rebuild a :class:`CompileResult` from :func:`full_result_to_wire` output.
+
+    ``target`` becomes the result's target (the submitting side's object, so
+    labels/metadata compare by identity exactly as with in-process backends).
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"Compile result must be an object, got {type(payload).__name__}"
+        )
+    accelerator_payload = payload.get("accelerator")
+    accelerator = (
+        accelerator_from_wire(accelerator_payload, target)
+        if accelerator_payload is not None
+        else None
+    )
+    error = payload.get("error")
+    return CompileResult(
+        target=target,
+        fingerprint=str(payload.get("fingerprint", "")) or target.fingerprint,
+        accelerator=accelerator,
+        error=None if error is None else str(error),
+        source=str(payload.get("source", "solver")),
+        seconds=float(payload.get("seconds", 0.0)),
+    )

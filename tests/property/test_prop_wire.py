@@ -1,0 +1,153 @@
+"""Property-based round-trip tests for the lossless wire/disk codecs.
+
+The invariants that make process-pool execution and disk-persistable
+baselines safe: an arbitrary physical line-buffer configuration survives
+``to_payload``/``from_payload`` bit-identically, and any schedule a real
+generator (ImaGen or a baseline) produces survives
+:func:`repro.service.wire.schedule_to_wire` /
+:func:`repro.service.wire.schedule_from_wire` with identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api.target import CompileTarget
+from repro.core.compiler import compile_target
+from repro.dsl.builder import PipelineBuilder, window_sum
+from repro.estimate.report import accelerator_report
+from repro.memory.linebuffer import BlockAssignment, LineBufferConfig
+from repro.memory.spec import MemorySpec
+from repro.service.wire import schedule_from_wire, schedule_to_wire
+
+W, H = 32, 24
+
+
+# ---------------------------------------------------------------------------
+# Arbitrary line-buffer configurations
+# ---------------------------------------------------------------------------
+@st.composite
+def memory_specs(draw) -> MemorySpec:
+    style = draw(st.sampled_from(["sram", "fifo"]))
+    return MemorySpec(
+        name=draw(st.sampled_from(["asic-dp", "asic-sp", "asic-fifo", "bram-x"])),
+        block_bits=draw(st.integers(1024, 64 * 1024)),
+        ports=draw(st.integers(1, 2)),
+        pixel_bits=draw(st.sampled_from([8, 12, 16])),
+        style=style,
+        allow_coalescing=draw(st.booleans()) and style != "fifo",
+    )
+
+
+@st.composite
+def block_assignments(draw) -> BlockAssignment:
+    return BlockAssignment(
+        index=draw(st.integers(0, 63)),
+        line_slots=tuple(
+            draw(st.lists(st.integers(0, 15), min_size=0, max_size=4, unique=True))
+        ),
+        segment=draw(st.integers(0, 3)),
+        used_bits=draw(st.integers(0, 64 * 1024)),
+    )
+
+
+@st.composite
+def line_buffer_configs(draw) -> LineBufferConfig:
+    readers = draw(
+        st.dictionaries(
+            st.sampled_from(["K1", "K2", "K3", "out"]), st.integers(1, 7), max_size=3
+        )
+    )
+    return LineBufferConfig(
+        producer=draw(st.sampled_from(["K0", "K1", "blur", "gradient"])),
+        image_width=draw(st.integers(8, 1920)),
+        lines=draw(st.integers(0, 12)),
+        spec=draw(memory_specs()),
+        coalesce_factor=draw(st.integers(1, 4)),
+        style=draw(st.sampled_from(["sram", "fifo", "registers"])),
+        blocks=draw(st.lists(block_assignments(), max_size=6)),
+        dff_pixels=draw(st.integers(0, 512)),
+        fifo_chains=draw(st.integers(1, 4)),
+        reader_heights=readers,
+    )
+
+
+class TestLineBufferPayloadRoundTrip:
+    @given(config=line_buffer_configs())
+    @settings(max_examples=120, deadline=None)
+    def test_payload_round_trip_is_lossless(self, config):
+        payload = json.loads(json.dumps(config.to_payload()))  # force JSON types
+        restored = LineBufferConfig.from_payload(payload)
+        assert restored == config
+        assert restored.to_payload() == config.to_payload()
+        # The derived physical quantities the estimators consume agree too.
+        assert restored.allocated_bits == config.allocated_bits
+        assert restored.data_bits == config.data_bits
+        assert restored.num_blocks == config.num_blocks
+
+    @given(config=line_buffer_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_spec_fields_rejected(self, config):
+        payload = config.to_payload()
+        payload["spec"] = dict(payload["spec"], surprise=1)
+        try:
+            LineBufferConfig.from_payload(payload)
+        except ValueError:
+            return
+        raise AssertionError("payload with unknown spec field must not decode")
+
+
+# ---------------------------------------------------------------------------
+# Real generator schedules
+# ---------------------------------------------------------------------------
+def _random_chain_dag(num_stages: int, stencil: int, fan_out: bool):
+    builder = PipelineBuilder(f"wire-{num_stages}-{stencil}-{int(fan_out)}")
+    handle = builder.input("K0")
+    first = handle
+    for index in range(1, num_stages):
+        handle = builder.stage(f"K{index}", window_sum(handle, stencil, stencil))
+    if fan_out and num_stages >= 3:
+        # A multi-consumer join exercises SODA's FIFO splitting on round-trip.
+        handle = builder.stage(
+            "join", window_sum(first, stencil, stencil) + window_sum(handle, 1, 1)
+        )
+    builder.dag.stage(handle.name).is_output = True
+    return builder.dag.validated()
+
+
+@st.composite
+def generator_schedules(draw):
+    generator = draw(st.sampled_from(["imagen", "darkroom", "soda", "fixynn"]))
+    num_stages = draw(st.integers(2, 5))
+    stencil = draw(st.sampled_from([1, 3, 5]))
+    fan_out = draw(st.booleans())
+    dag = _random_chain_dag(num_stages, stencil, fan_out)
+    target = CompileTarget(
+        dag, image_width=W, image_height=H, generator=generator
+    )
+    return compile_target(target).schedule, target
+
+
+class TestGeneratorScheduleRoundTrip:
+    @given(data=generator_schedules())
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_round_trip_preserves_reports(self, data):
+        schedule, target = data
+        payload = json.loads(json.dumps(schedule_to_wire(schedule)))
+        restored = schedule_from_wire(payload, target.dag)
+        assert restored.generator == schedule.generator
+        assert restored.start_cycles == schedule.start_cycles
+        assert restored.coalesce_factors == schedule.coalesce_factors
+        assert set(restored.line_buffers) == set(schedule.line_buffers)
+        for name, config in schedule.line_buffers.items():
+            assert restored.line_buffers[name].to_payload() == config.to_payload()
+        assert accelerator_report(restored).row() == accelerator_report(schedule).row()
+
+    @given(data=generator_schedules())
+    @settings(max_examples=10, deadline=None)
+    def test_wire_payload_is_json_serializable(self, data):
+        schedule, _ = data
+        payload = schedule_to_wire(schedule)
+        assert json.loads(json.dumps(payload)) == payload

@@ -92,6 +92,110 @@ class TestConcurrentSameFingerprintWrites:
         assert len(store) == 1
 
 
+def _write_many_bounded(
+    directory: str, writer_id: int, iterations: int, max_bytes: int
+) -> None:
+    store = DiskCacheStore(directory, max_bytes=max_bytes)
+    payload = _payload(writer_id)
+    for iteration in range(iterations):
+        # Spread writes over many fingerprints so eviction has real work.
+        fingerprint = f"{(writer_id * iterations + iteration) % 97:02x}" + "f" * 62
+        store.save(fingerprint, payload)
+
+
+class TestBoundedStoreUnderConcurrency:
+    """Acceptance: a ``max_bytes`` bound holds under the multi-writer stress."""
+
+    MAX_BYTES = 120_000  # a handful of the ~21 KB payloads
+
+    def test_bound_never_exceeded_by_racing_writers(self, tmp_path):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method for an in-repo child process")
+        iterations = 40
+        store = DiskCacheStore(tmp_path, max_bytes=self.MAX_BYTES)
+        process = multiprocessing.get_context("fork").Process(
+            target=_write_many_bounded, args=(str(tmp_path), 9, iterations, self.MAX_BYTES)
+        )
+        threads = [
+            threading.Thread(
+                target=_write_many_bounded,
+                args=(str(tmp_path), i, iterations, self.MAX_BYTES),
+            )
+            for i in range(3)
+        ]
+        process.start()
+        for thread in threads:
+            thread.start()
+        try:
+            # Sample the volume continuously while the writers race.  A save
+            # is (write, then GC), so a probe may catch each writer's latest
+            # entry before its own GC pass — never more than the bound plus
+            # one in-flight entry per concurrent writer.
+            slack = 4 * 25_000  # 4 writers x one ~21 KB payload, rounded up
+            while process.is_alive() or any(t.is_alive() for t in threads):
+                assert store.total_bytes() <= self.MAX_BYTES + slack
+        finally:
+            for thread in threads:
+                thread.join(timeout=60)
+            process.join(timeout=60)
+        # Once the dust settles the bound holds exactly.
+        assert store.total_bytes() <= self.MAX_BYTES
+        assert len(store) > 0
+        # Every surviving entry parses (eviction never corrupts neighbours).
+        for path in tmp_path.rglob("*.json"):
+            _check(json.loads(path.read_text(encoding="utf-8")))
+
+    def test_age_bound_evicts_stale_entries(self, tmp_path):
+        import time
+
+        store = DiskCacheStore(tmp_path, max_age_seconds=0.2)
+        store.save("aa" + "0" * 62, {"writer": 1})
+        time.sleep(0.3)
+        store.save("bb" + "0" * 62, {"writer": 2})
+        assert store.load("aa" + "0" * 62) is None
+        assert store.load("bb" + "0" * 62) is not None
+
+    def test_lru_eviction_prefers_recently_loaded_entries(self, tmp_path):
+        import os
+        import time
+
+        store = DiskCacheStore(tmp_path, max_bytes=3_000)
+        old, hot, new = ("aa" + "0" * 62, "bb" + "0" * 62, "cc" + "0" * 62)
+        payload = {"blob": "x" * 1_000}
+        store.save(old, payload)
+        store.save(hot, payload)
+        # Backdate both, then touch `hot` via a load: mtime refresh must make
+        # the unloaded `old` the eviction victim.
+        past = time.time() - 3_600
+        for fingerprint in (old, hot):
+            os.utime(store.path_for(fingerprint), (past, past))
+        assert store.load(hot) is not None
+        store.save(new, payload)
+        assert store.load(old) is None
+        assert store.load(hot) is not None
+        assert store.load(new) is not None
+
+    def test_single_oversized_entry_is_evicted_rather_than_kept(self, tmp_path):
+        store = DiskCacheStore(tmp_path, max_bytes=1_000)
+        assert store.save("aa" + "0" * 62, {"blob": "x" * 5_000})
+        assert store.total_bytes() <= 1_000  # the bound wins, entry and all
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCacheStore(tmp_path, max_bytes=0)
+        with pytest.raises(ValueError):
+            DiskCacheStore(tmp_path, max_age_seconds=-1)
+
+    def test_unbounded_store_never_scans_on_save(self, tmp_path, monkeypatch):
+        store = DiskCacheStore(tmp_path)
+        monkeypatch.setattr(
+            DiskCacheStore,
+            "_collect_garbage",
+            lambda self: (_ for _ in ()).throw(AssertionError("GC ran unbounded")),
+        )
+        assert store.save(FINGERPRINT, {"writer": 0})
+
+
 class TestLegacyFlatTwins:
     """Regression: a fingerprint at both the flat and sharded path counted twice."""
 

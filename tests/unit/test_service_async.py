@@ -25,7 +25,9 @@ def _target(dag=None, **kwargs) -> CompileTarget:
 
 @pytest.fixture
 def engine():
-    engine = CompileEngine(workers=2)
+    # Thread backend pinned: these tests assert in-process semantics (shared
+    # schedule objects, pool saturation via the executor's thread pool).
+    engine = CompileEngine(workers=2, executor="thread")
     yield engine
     engine.shutdown()
 
@@ -84,11 +86,11 @@ class TestSubmitBatchAsync:
             _target(build_chain(3), label="c"),  # duplicate of "a"
             _target().with_options(coalescing=True),
         ]
-        with CompileEngine(workers=2) as sync_engine:
+        with CompileEngine(workers=2, executor="thread") as sync_engine:
             sync_batch = sync_engine.submit_batch(targets)
 
         async def run():
-            async with CompileEngine(workers=2) as async_engine:
+            async with CompileEngine(workers=2, executor="thread") as async_engine:
                 return await async_engine.submit_batch_async(targets)
 
         async_batch = asyncio.run(run())
@@ -122,7 +124,7 @@ class TestSubmitBatchAsync:
 
         async def run():
             # Saturate the 2-thread pool so the batch stays queued behind it.
-            pool = engine._ensure_pool()
+            pool = engine._executor._ensure_pool()
             release = __import__("threading").Event()
             for _ in range(engine.workers):
                 pool.submit(release.wait)
@@ -145,17 +147,17 @@ class TestSubmitBatchAsync:
 class TestAsyncContextManager:
     def test_aenter_returns_engine_and_aexit_shuts_down(self):
         async def run():
-            async with CompileEngine(workers=2) as engine:
+            async with CompileEngine(workers=2, executor="thread") as engine:
                 result = await engine.submit_async(_target(build_chain(3)))
                 assert result.ok
                 return engine
 
         engine = asyncio.run(run())
-        assert engine._pool is None  # pool released by __aexit__
+        assert engine._executor._pool is None  # pool released by __aexit__
 
     def test_sync_and_async_share_cache(self):
         async def run():
-            async with CompileEngine(workers=2) as engine:
+            async with CompileEngine(workers=2, executor="thread") as engine:
                 await engine.submit_async(_target())
                 hits_before = engine.cache.stats.hits
                 engine.submit(_target())  # sync path, same cache

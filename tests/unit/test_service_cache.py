@@ -241,8 +241,15 @@ class TestShardedStore:
 
 
 class TestBaselineCaching:
-    def test_baseline_schedule_cached_in_memory_only(self, tmp_path):
+    def test_baseline_schedule_persists_to_disk(self, tmp_path):
+        """Baselines round-trip through the disk tier like optimized designs.
+
+        Their payloads embed the full line-buffer configurations (FIFO
+        chains, DFF pixels, adapted specs) because the ImaGen allocator
+        cannot re-derive them from the solver decisions.
+        """
         from repro.api import CompileTarget
+        from repro.estimate.report import accelerator_report
 
         store = DiskCacheStore(tmp_path)
         cache = CompileCache(store=store)
@@ -251,13 +258,35 @@ class TestBaselineCaching:
         )
         first = compile_pipeline(target, cache=cache)
         assert cache.stats.misses == 1
-        # Memory tier serves the repeat; nothing was persisted to disk
-        # (baseline line buffers do not round-trip through the allocator).
-        second = compile_pipeline(target, cache=cache)
-        assert cache.stats.hits == 1
-        assert second.schedule is first.schedule
-        assert len(store) == 0
-        assert cache.stats.disk_stores == 0
+        assert len(store) == 1
+        assert cache.stats.disk_stores == 1
+
+        # A fresh cache (empty memory tier) on the same volume loads it warm.
+        cold = CompileCache(store=DiskCacheStore(tmp_path))
+        second = compile_pipeline(target, cache=cold)
+        assert cold.stats.disk_hits == 1 and cold.stats.misses == 0
+        assert second.schedule.generator == "darkroom"
+        assert accelerator_report(second.schedule).row() == accelerator_report(
+            first.schedule
+        ).row()
+        for name, config in first.schedule.line_buffers.items():
+            assert second.schedule.line_buffers[name].to_payload() == config.to_payload()
+
+    @pytest.mark.parametrize("generator", ["darkroom", "soda", "fixynn"])
+    def test_every_baseline_generator_round_trips(self, tmp_path, generator):
+        from repro.api import CompileTarget
+
+        target = CompileTarget(
+            build_paper_example(), image_width=W, image_height=H, generator=generator
+        )
+        warm = compile_pipeline(target, cache=CompileCache(store=DiskCacheStore(tmp_path)))
+        cold_cache = CompileCache(store=DiskCacheStore(tmp_path))
+        cold = compile_pipeline(target, cache=cold_cache)
+        assert cold_cache.stats.disk_hits == 1
+        assert cold.schedule.total_allocated_bits == warm.schedule.total_allocated_bits
+        assert cold.schedule.total_blocks == warm.schedule.total_blocks
+        assert cold.schedule.total_dff_pixels == warm.schedule.total_dff_pixels
+        assert cold.schedule.start_cycles == warm.schedule.start_cycles
 
     def test_baseline_and_imagen_fingerprints_do_not_collide(self):
         from repro.api import CompileTarget

@@ -24,7 +24,12 @@ W, H = TEST_WIDTH, TEST_HEIGHT
 
 @pytest.fixture
 def engine():
-    engine = CompileEngine(workers=2)
+    # Pinned to the thread backend: these tests assert in-process semantics
+    # (schedule object identity across dedup twins, monkeypatched solvers,
+    # parent-cache hit accounting) that the process backend intentionally
+    # trades away.  Cross-backend behaviour lives in test_service_executor /
+    # the integration parity suite.
+    engine = CompileEngine(workers=2, executor="thread")
     yield engine
     engine.shutdown()
 
@@ -420,12 +425,22 @@ class TestWorkerSizing:
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert CompileEngine(workers=5).workers == 5
 
-    def test_invalid_env_ignored_with_warning(self, monkeypatch):
+    def test_invalid_env_rejected_with_value_error(self, monkeypatch):
+        """Regression: 0/negative/garbage REPRO_WORKERS used to be silently
+        ignored (mis-sizing production pools); they must fail loudly now."""
         from repro.service import default_worker_count
 
-        monkeypatch.delenv("REPRO_WORKERS", raising=False)
-        baseline = default_worker_count()
-        for bad in ("zero", "0", "-2"):
+        for bad in ("zero", "0", "-2", "1.5", ""):
             monkeypatch.setenv("REPRO_WORKERS", bad)
-            with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
-                assert default_worker_count() == baseline
+            if not bad.strip():
+                default_worker_count()  # unset/blank still means "auto"
+                continue
+            with pytest.raises(ValueError, match="REPRO_WORKERS"):
+                default_worker_count()
+            with pytest.raises(ValueError, match="REPRO_WORKERS"):
+                CompileEngine()
+
+    def test_invalid_explicit_workers_rejected(self):
+        for bad in (0, -3, "four"):
+            with pytest.raises(ValueError, match="workers"):
+                CompileEngine(workers=bad)

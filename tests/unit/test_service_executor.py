@@ -1,0 +1,353 @@
+"""Unit tests for the pluggable execution backends and engine wiring."""
+
+import os
+
+import pytest
+
+from repro.api import CompileTarget
+from repro.service import (
+    CompileEngine,
+    EXECUTOR_NAMES,
+    InlineExecutor,
+    ProcessExecutor,
+    ThreadExecutor,
+    default_executor_name,
+    validate_worker_count,
+)
+from repro.service.jobs import execute_wire_job
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain, build_paper_example
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+
+def _target(dag=None, **kwargs) -> CompileTarget:
+    return CompileTarget(dag or build_chain(3), image_width=W, image_height=H, **kwargs)
+
+
+class TestBackendSelection:
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert default_executor_name() == "thread"
+        engine = CompileEngine(workers=1)
+        assert engine.executor_name == "thread"
+
+    @pytest.mark.parametrize("name", EXECUTOR_NAMES)
+    def test_env_selects_backend(self, monkeypatch, name):
+        monkeypatch.setenv("REPRO_EXECUTOR", name)
+        engine = CompileEngine(workers=1)
+        assert engine.executor_name == name
+        engine.shutdown()
+
+    def test_explicit_executor_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        engine = CompileEngine(workers=1, executor="inline")
+        assert engine.executor_name == "inline"
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "threads")  # typo must fail loudly
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+            default_executor_name()
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+            CompileEngine(workers=1)
+
+    def test_invalid_executor_argument_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            CompileEngine(workers=1, executor="fork-bomb")
+
+    def test_backend_instance_is_used_verbatim(self):
+        backend = InlineExecutor()
+        engine = CompileEngine(workers=4, executor=backend)
+        assert engine._executor is backend
+        assert engine.executor_name == "inline"
+
+    def test_describe_names_the_backend(self):
+        engine = CompileEngine(workers=1, executor="inline")
+        assert "executor=inline" in engine.describe()
+
+
+class TestWorkerValidation:
+    @pytest.mark.parametrize("bad", [0, -1, "0", "garbage", None, 2.5, ""])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ValueError):
+            validate_worker_count(bad)
+
+    def test_error_names_the_source(self):
+        with pytest.raises(ValueError, match="--workers"):
+            validate_worker_count("many", source="--workers")
+
+    @pytest.mark.parametrize("good,expected", [(1, 1), ("8", 8), (3, 3)])
+    def test_valid_counts_pass(self, good, expected):
+        assert validate_worker_count(good) == expected
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_pool_backends_reject_bad_counts(self, name):
+        backend_cls = {"thread": ThreadExecutor, "process": ProcessExecutor}[name]
+        with pytest.raises(ValueError):
+            backend_cls(0)
+
+    def test_http_cli_rejects_bad_workers(self, capsys):
+        from repro.service.http import main
+
+        with pytest.raises(SystemExit):
+            main(["--workers", "0", "--port", "0"])
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestInlineBackend:
+    def test_batch_is_deterministic_and_ordered(self):
+        engine = CompileEngine(executor="inline")
+        targets = [_target(build_chain(n), label=str(n)) for n in (2, 3, 4)]
+        batch = engine.submit_batch(targets)
+        assert [r.target.label for r in batch.results] == ["2", "3", "4"]
+        assert all(r.ok for r in batch.results)
+        assert [r.source for r in batch.results] == ["solver"] * 3
+
+    def test_no_threads_involved(self):
+        import threading
+
+        seen = []
+        engine = CompileEngine(executor="inline")
+        original = engine._execute
+
+        def tracking(target, fingerprint):
+            seen.append(threading.current_thread())
+            return original(target, fingerprint)
+
+        engine._execute = tracking
+        engine.submit_batch([_target()])
+        assert seen == [threading.main_thread()]
+
+    def test_errors_still_captured_per_item(self):
+        engine = CompileEngine(executor="inline")
+        batch = engine.submit_batch([_target().with_resolution(1, H), _target()])
+        assert not batch.results[0].ok and batch.results[1].ok
+
+
+class TestProcessBackend:
+    @pytest.fixture
+    def engine(self):
+        engine = CompileEngine(workers=2, executor="process")
+        yield engine
+        engine.shutdown()
+
+    def test_batch_matches_thread_backend(self, engine):
+        targets = [
+            _target(build_paper_example(), label="imagen"),
+            _target(build_paper_example(), generator="darkroom", label="dk"),
+            _target(build_paper_example(), generator="soda", label="soda"),
+        ]
+        with CompileEngine(workers=2, executor="thread") as reference:
+            expected = reference.submit_batch(targets)
+        actual = engine.submit_batch(targets)
+        assert [r.fingerprint for r in actual] == [r.fingerprint for r in expected]
+        for ours, theirs in zip(actual.results, expected.results):
+            assert ours.ok and theirs.ok
+            assert (
+                ours.accelerator.schedule.start_cycles
+                == theirs.accelerator.schedule.start_cycles
+            )
+            assert (
+                ours.accelerator.schedule.total_allocated_bits
+                == theirs.accelerator.schedule.total_allocated_bits
+            )
+
+    def test_in_batch_dedup_shares_one_future(self, engine):
+        batch = engine.submit_batch([_target(), _target()])
+        sources = sorted(r.source for r in batch.results)
+        assert sources == ["deduplicated", "solver"]
+        assert (
+            batch.results[0].accelerator.schedule
+            is batch.results[1].accelerator.schedule
+        )
+
+    def test_error_capture_crosses_the_process_boundary(self, engine):
+        batch = engine.submit_batch([_target().with_resolution(1, H)])
+        assert not batch.results[0].ok
+        assert "SchedulingError" in batch.results[0].error
+
+    def test_parent_memory_cache_absorbs_worker_solves(self, engine):
+        target = _target()
+        engine.submit_batch([target])
+        # The follow-up inline submit is answered from the parent's memory
+        # tier — no worker round-trip, no new solve.
+        repeat = engine.submit(target)
+        assert repeat.source == "memory"
+
+    def test_result_target_is_the_submitters_object(self, engine):
+        target = _target(label="mine")
+        batch = engine.submit_batch([target])
+        assert batch.results[0].target is target
+
+    def test_workers_share_the_disk_volume(self, tmp_path):
+        with CompileEngine(workers=1, executor="process", cache_dir=tmp_path) as engine:
+            engine.submit_batch([_target(build_chain(4))])
+        assert len(engine.cache.store) >= 1
+
+    def test_workers_enforce_the_volumes_gc_bounds(self, tmp_path):
+        """Regression: batch traffic used to bypass max_bytes entirely —
+        workers built unbounded stores, so only rare parent-side saves GCed."""
+        from repro.service import CompileCache, DiskCacheStore
+
+        store = DiskCacheStore(tmp_path, max_bytes=2_000)  # ~1-2 entries
+        cache = CompileCache(store=store)
+        targets = [_target(build_chain(n)) for n in (2, 3, 4, 5)]
+        with CompileEngine(workers=2, executor="process", cache=cache) as engine:
+            engine.submit_batch(targets).raise_on_error()
+        assert store.total_bytes() <= 2_000
+
+    def test_cold_submit_runs_in_a_worker_not_the_serving_thread(
+        self, engine, monkeypatch
+    ):
+        """Regression: single submits used to always solve on the calling
+        thread, leaving the process pool idle for the GIL-bound case it
+        exists for.  Poisoning the parent's solver proves where the job ran:
+        workers are fresh interpreters and never see the monkeypatch."""
+        import repro.service.engine as engine_mod
+
+        def parent_must_not_solve(target, cache=None):
+            raise AssertionError("cold submit ran in the serving process")
+
+        monkeypatch.setattr(engine_mod, "compile_pipeline", parent_must_not_solve)
+        result = engine.submit(_target(build_chain(4)))
+        assert result.ok and result.source == "solver"
+
+    def test_warm_submit_stays_in_process(self, engine, monkeypatch):
+        """...and the flip side: once the parent's memory tier holds the
+        design, repeats are answered inline without a worker round-trip."""
+        target = _target()
+        engine.submit_batch([target])  # worker solves; parent absorbs
+
+        def no_worker_round_trip(run_local, t, fingerprint):
+            raise AssertionError("warm submit went to the pool")
+
+        monkeypatch.setattr(engine._executor, "submit", no_worker_round_trip)
+        assert engine.submit(target).source == "memory"
+
+    def test_wire_job_round_trip(self):
+        """The process-pool task is a pure wire-payload transformation."""
+        target = _target(build_paper_example())
+        payload = execute_wire_job(target.to_wire(), None)
+        from repro.service import full_result_from_wire
+
+        result = full_result_from_wire(payload, target)
+        assert result.ok
+        assert result.fingerprint == target.fingerprint
+        assert result.accelerator.schedule.total_blocks > 0
+
+    def test_shutdown_then_resubmit_recreates_pool(self, engine):
+        assert engine.submit_batch([_target()]).results[0].ok
+        engine.shutdown()
+        assert engine.submit_batch([_target(build_chain(4))]).results[0].ok
+
+
+class TestSubmitFailureRecovery:
+    """Regression: a backend whose ``submit`` raises used to leave the
+    published placeholder future in ``_inflight`` forever, so every later
+    submission of that fingerprint deduped against a dead future and hung."""
+
+    class _BrokenBackend(InlineExecutor):
+        def __init__(self):
+            super().__init__()
+            self.broken = True
+
+        def submit(self, run_local, target, fingerprint):
+            if self.broken:
+                raise RuntimeError("pool is broken")
+            return super().submit(run_local, target, fingerprint)
+
+    def test_failed_submit_clears_inflight_and_unblocks_retries(self):
+        backend = self._BrokenBackend()
+        engine = CompileEngine(executor=backend)
+        target = _target()
+        with pytest.raises(RuntimeError, match="pool is broken"):
+            engine.submit_batch([target])
+        assert not engine._inflight  # the fingerprint is not poisoned
+        backend.broken = False
+        batch = engine.submit_batch([target])  # must not hang
+        assert batch.results[0].ok
+
+    def test_speculation_failure_never_surfaces_on_the_request(self):
+        backend = self._BrokenBackend()
+        engine = CompileEngine(executor=backend, prewarm=True)
+        result = engine.submit(_target(build_paper_example()))  # inline path
+        assert result.ok  # broken speculation backend, fine client result
+        assert not engine._inflight
+
+
+class TestSpeculativePrewarm:
+    RESOLUTIONS = ((W, H), (W * 2, H * 2))
+
+    @pytest.fixture
+    def engine(self):
+        engine = CompileEngine(
+            workers=2,
+            executor="thread",
+            prewarm=True,
+            prewarm_resolutions=self.RESOLUTIONS,
+        )
+        yield engine
+        engine.shutdown()
+
+    def test_submit_warms_sibling_design_points(self, engine):
+        target = _target(build_paper_example())
+        engine.submit(target)
+        assert engine.wait_prewarm(timeout=60)
+        # The other resolution and the coalescing toggle are already cached.
+        other = target.with_resolution(W * 2, H * 2)
+        toggled = target.with_options(coalescing=True)
+        assert other.fingerprint in engine.cache
+        assert toggled.fingerprint in engine.cache
+        assert engine.submit(other).source == "memory"
+        assert engine.submit(toggled).source == "memory"
+
+    def test_speculation_does_not_pollute_request_metrics(self, engine):
+        engine.submit(_target(build_paper_example()))
+        assert engine.wait_prewarm(timeout=60)
+        assert engine.metrics.requests == 1  # client requests only
+
+    def test_prewarm_off_by_default(self):
+        engine = CompileEngine(workers=1, executor="inline")
+        engine.submit(_target(build_paper_example()))
+        assert len(engine.cache) == 1  # nothing speculative
+
+    def test_baseline_targets_are_not_speculated(self, engine):
+        engine.submit(_target(build_paper_example(), generator="darkroom"))
+        assert engine.wait_prewarm(timeout=60)
+        assert len(engine.cache) == 1
+
+    def test_async_submit_also_speculates(self, engine):
+        import asyncio
+
+        target = _target(build_paper_example())
+
+        async def run():
+            return await engine.submit_async(target)
+
+        asyncio.run(run())
+        assert engine.wait_prewarm(timeout=60)
+        assert target.with_resolution(W * 2, H * 2).fingerprint in engine.cache
+
+
+class TestSweepExecutorWiring:
+    def test_sweep_executor_flag_matches_serial(self):
+        from repro.dse.sweep import sweep_memory_configurations
+
+        serial = sweep_memory_configurations(
+            build_paper_example(), image_width=W, image_height=H
+        )
+        inline = sweep_memory_configurations(
+            build_paper_example(), image_width=W, image_height=H, executor="inline"
+        )
+        assert [p.label for p in inline] == [p.label for p in serial]
+        assert [p.area_mm2 for p in inline] == [p.area_mm2 for p in serial]
+        assert [p.power_mw for p in inline] == [p.power_mw for p in serial]
+
+    def test_sweep_uses_the_engines_backend(self):
+        engine = CompileEngine(workers=2, executor="inline")
+        from repro.dse.sweep import sweep_memory_configurations
+
+        points = sweep_memory_configurations(
+            build_paper_example(), image_width=W, image_height=H, engine=engine
+        )
+        assert points and all(p.area_mm2 > 0 for p in points)

@@ -24,7 +24,9 @@ W, H = TEST_WIDTH, TEST_HEIGHT
 @pytest.fixture
 def service(tmp_path):
     """A live server on an ephemeral port + its engine + a client."""
-    engine = CompileEngine(workers=2, cache_dir=tmp_path / "cache")
+    # Thread backend pinned: the endpoint tests assert parent-cache hit
+    # accounting that worker-process caches would intentionally change.
+    engine = CompileEngine(workers=2, executor="thread", cache_dir=tmp_path / "cache")
     server = start_server(engine)
     yield ServiceClient(port=server.port), engine, server
     server.stop()

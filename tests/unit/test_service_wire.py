@@ -240,7 +240,9 @@ class TestResultCodec:
             CompileTarget(build_chain(3), image_width=1, image_height=H, label="bad"),
             CompileTarget(build_chain(4), image_width=W, image_height=H, label="b"),
         ]
-        with CompileEngine(workers=2) as engine:
+        # Thread backend pinned: the cache_stats assertion below reads the
+        # parent cache, which the process backend leaves to its workers.
+        with CompileEngine(workers=2, executor="thread") as engine:
             wire = batch_result_to_wire(engine.submit_batch(targets))
         assert [r["label"] for r in wire["results"]] == ["a", "bad", "b"]
         assert [r["ok"] for r in wire["results"]] == [True, False, True]
