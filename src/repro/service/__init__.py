@@ -1,5 +1,8 @@
 """Compilation service layer: content-addressed caching and batch execution.
 
+Stability: public.  (Every ``repro.service.*`` module carries its own
+``Stability:`` marker; everything re-exported here is public API.)
+
 This package turns :func:`repro.core.compile_pipeline` into a serving
 subsystem (the ROADMAP's "heavy traffic" direction).  Its unit of work is the
 unified :class:`repro.api.CompileTarget` request object:
@@ -10,9 +13,13 @@ unified :class:`repro.api.CompileTarget` request object:
   (including the process-pool wire-payload task) and the legacy
   :class:`CompileRequest`, kept as a deprecated shim;
 * :mod:`repro.service.executor` — pluggable execution backends
-  (``inline``/``thread``/``process``), selected via
+  (``inline``/``thread``/``process`` plus the autoscaling
+  ``thread:auto``/``process:auto``), selected via
   ``CompileEngine(executor=...)`` or ``REPRO_EXECUTOR``;
 * :mod:`repro.service.metrics` — per-request latency and hit-rate metrics;
+* :mod:`repro.service.admission` — admission control: bearer-token
+  authentication, per-identity token-bucket rate limiting, and the bounded
+  fair submission queue behind ``CompileEngine(max_pending=...)``;
 * :mod:`repro.service.engine` — the :class:`CompileEngine` front door, with
   synchronous (``submit``/``submit_batch``) and asyncio
   (``submit_async``/``submit_batch_async``) serving fronts plus opt-in
@@ -26,6 +33,11 @@ unified :class:`repro.api.CompileTarget` request object:
 
 Fingerprinting lives in :mod:`repro.api.fingerprint`;
 ``repro.service.fingerprint`` re-exports it for compatibility.
+
+The prose documentation lives in ``docs/``: ``docs/architecture.md`` (layer
+map), ``docs/serving.md`` (HTTP API + admission semantics),
+``docs/wire-protocol.md`` (payload formats and versioning) and
+``docs/tuning.md`` (executor/cache/autoscaler sizing).
 
 Quickstart::
 
@@ -45,6 +57,20 @@ from repro.api.fingerprint import (
     dag_fingerprint,
 )
 from repro.api.target import CompileTarget
+from repro.service.admission import (
+    MAX_PENDING_ENV_VAR,
+    AdmissionError,
+    AdmissionQueue,
+    AuthenticationError,
+    QueueFullError,
+    RateDecision,
+    RateLimiter,
+    TokenAuthenticator,
+    TokenRecord,
+    parse_rate_limit,
+    parse_token_line,
+    validate_max_pending,
+)
 from repro.service.cache import (
     CacheStats,
     CompileCache,
@@ -61,6 +87,7 @@ from repro.service.engine import (
 from repro.service.executor import (
     EXECUTOR_ENV_VAR,
     EXECUTOR_NAMES,
+    AutoscalingExecutor,
     ExecutorBackend,
     InlineExecutor,
     ProcessExecutor,
@@ -97,6 +124,10 @@ from repro.service.wire import (
 )
 
 __all__ = [
+    "AdmissionError",
+    "AdmissionQueue",
+    "AuthenticationError",
+    "AutoscalingExecutor",
     "BatchResult",
     "CacheStats",
     "CompileCache",
@@ -113,12 +144,18 @@ __all__ = [
     "ExecutorBackend",
     "FINGERPRINT_VERSION",
     "InlineExecutor",
+    "MAX_PENDING_ENV_VAR",
     "PREWARM_RESOLUTIONS",
     "ProcessExecutor",
+    "QueueFullError",
+    "RateDecision",
+    "RateLimiter",
     "RequestTrace",
     "ServiceClient",
     "ServiceError",
     "ThreadExecutor",
+    "TokenAuthenticator",
+    "TokenRecord",
     "WIRE_FORMAT_VERSION",
     "WORKERS_ENV_VAR",
     "WireFormatError",
@@ -132,6 +169,8 @@ __all__ = [
     "deserialize_schedule",
     "full_result_from_wire",
     "full_result_to_wire",
+    "parse_rate_limit",
+    "parse_token_line",
     "result_to_wire",
     "schedule_from_wire",
     "schedule_to_wire",
@@ -139,5 +178,6 @@ __all__ = [
     "start_server",
     "target_from_wire",
     "target_to_wire",
+    "validate_max_pending",
     "validate_worker_count",
 ]

@@ -1,5 +1,7 @@
 """Two-tier compile cache: in-memory LRU backed by an optional disk store.
 
+Stability: public.
+
 The cache's unit of storage is a solved :class:`PipelineSchedule`, keyed by
 the content fingerprint of the :class:`repro.api.CompileTarget` that produced
 it (:func:`repro.api.fingerprint.compile_fingerprint`).  Caching at schedule

@@ -1,5 +1,7 @@
 """The compile engine: cached, deduplicated, parallel compilation service.
 
+Stability: public.
+
 :class:`CompileEngine` is the serving-layer entry point.  Its unit of work is
 the :class:`repro.api.CompileTarget`; every submission path wraps
 :func:`repro.core.compile_pipeline`:
@@ -33,6 +35,21 @@ toggled, so an interactive client stepping through the paper's design axes
 finds every next request already cached.  The in-flight dedup table makes
 speculation free when the client races it to the same fingerprint.
 
+Admission control
+-----------------
+``CompileEngine(max_pending=...)`` (or the ``REPRO_MAX_PENDING`` environment
+variable) inserts a bounded :class:`repro.service.admission.AdmissionQueue`
+between the dedup table and the executor backend: at most ``workers`` jobs
+are dispatched at a time and at most ``max_pending`` more may wait.  The
+``overflow`` policy decides what happens beyond that — ``"shed"`` raises
+:class:`repro.service.admission.QueueFullError` (batch submissions degrade
+the shed items to error-carrying results with ``source="rejected"`` instead)
+while ``"block"`` applies backpressure to the submitter.  Every submission
+path accepts a ``client=`` identity; pending work drains round-robin across
+identities, so one flooding client cannot starve the rest.  Cache-answerable
+submits bypass the queue entirely — admission control prices solver work,
+not dictionary lookups.
+
 Async front
 -----------
 For services that await compile jobs instead of dedicating a thread per
@@ -59,12 +76,18 @@ import os
 import threading
 import time
 import warnings
-from concurrent.futures import Future
+from concurrent.futures import CancelledError, Future
 from dataclasses import replace
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.api.target import CompileTarget
 from repro.core.compiler import CompiledAccelerator, compile_pipeline
+from repro.service.admission import (
+    AdmissionQueue,
+    QueueFullError,
+    default_max_pending,
+    validate_max_pending,
+)
 from repro.core.scheduler import SchedulerOptions
 from repro.ir.dag import PipelineDAG
 from repro.memory.spec import MemorySpec
@@ -82,12 +105,18 @@ from repro.service.jobs import (
     CompileRequest,
     CompileResult,
     derive_source,
+    rejected_result,
 )
 from repro.service.metrics import EngineMetrics, RequestTrace
 
 #: Resolutions speculatively pre-warmed by ``CompileEngine(prewarm=True)``:
 #: the paper's two evaluation sizes (320p and 1080p).
 PREWARM_RESOLUTIONS: tuple[tuple[int, int], ...] = ((480, 320), (1920, 1080))
+
+
+async def _resolved(value):
+    """An already-settled awaitable (gather alignment for preset batch slots)."""
+    return value
 
 
 def default_worker_count() -> int:
@@ -135,6 +164,17 @@ class CompileEngine:
     prewarm_resolutions:
         The resolutions speculation covers (default: the paper's 320p/1080p
         evaluation sizes).
+    max_pending:
+        Bound on the number of admitted-but-undispatched jobs (default:
+        ``REPRO_MAX_PENDING``, else unbounded).  Enables the admission queue:
+        submissions beyond ``workers`` in-flight + ``max_pending`` waiting
+        follow the ``overflow`` policy, and pending work drains round-robin
+        across ``client=`` identities.
+    overflow:
+        What a full queue does to new submissions: ``"shed"`` (default)
+        raises :class:`repro.service.admission.QueueFullError` — the HTTP
+        front maps it to 429 with ``Retry-After`` — while ``"block"`` makes
+        the submitter wait for space.
     """
 
     def __init__(
@@ -147,6 +187,8 @@ class CompileEngine:
         max_cache_entries: int = 512,
         prewarm: bool = False,
         prewarm_resolutions: Sequence[tuple[int, int]] = PREWARM_RESOLUTIONS,
+        max_pending: int | None = None,
+        overflow: str = "shed",
     ) -> None:
         if workers is not None:
             workers = validate_worker_count(workers)
@@ -166,6 +208,28 @@ class CompileEngine:
         self.prewarm = prewarm
         self.prewarm_resolutions = tuple(prewarm_resolutions)
         self.metrics = EngineMetrics()
+        if max_pending is None:
+            max_pending = default_max_pending()
+        else:
+            max_pending = validate_max_pending(max_pending)
+        self.max_pending = max_pending
+        self.overflow = overflow
+        if max_pending is not None:
+            # Retry-After for shed jobs: roughly one mean solve, so clients
+            # back off in proportion to how expensive this workload is.  The
+            # dispatch width follows the *backend's* fleet (a ready-made
+            # ExecutorBackend instance may size itself differently from the
+            # engine default).
+            self._admission: AdmissionQueue | None = AdmissionQueue(
+                self._executor.workers,
+                max_pending=max_pending,
+                policy=overflow,
+                retry_after=lambda: self.metrics.mean_seconds or 1.0,
+            )
+        else:
+            if overflow not in ("shed", "block"):
+                raise ValueError(f"overflow must be 'shed' or 'block', got {overflow!r}")
+            self._admission = None
         self._inflight: dict[str, Future] = {}
         self._prewarm_pending: set[Future] = set()
         self._lock = threading.Lock()
@@ -193,10 +257,15 @@ class CompileEngine:
         """Stop the executor backend (the cache and its disk store stay usable).
 
         ``cancel_pending=True`` additionally cancels queued-but-unstarted
-        jobs: their futures (and any :func:`asyncio.wrap_future` wrappers
-        awaiting them) resolve with ``CancelledError``.  The engine stays
-        usable — the next batch submission transparently recreates the pool.
+        jobs — both those waiting in the admission queue (dropped before
+        they ever reach a backend, so they cannot be pumped into a recreated
+        pool) and those queued inside the backend: their futures (and any
+        :func:`asyncio.wrap_future` wrappers awaiting them) resolve with
+        ``CancelledError``.  The engine stays usable — the next batch
+        submission transparently recreates the pool.
         """
+        if cancel_pending and self._admission is not None:
+            self._admission.cancel_pending()
         self._executor.shutdown(wait, cancel_pending=cancel_pending)
 
     # -------------------------------------------------------- normalization
@@ -266,7 +335,9 @@ class CompileEngine:
         )
         return self.submit(target).unwrap()
 
-    def submit(self, target: CompileTarget | CompileRequest) -> CompileResult:
+    def submit(
+        self, target: CompileTarget | CompileRequest, *, client: str = ""
+    ) -> CompileResult:
         """Run one target synchronously, via the cache.
 
         With the in-process backends (``inline``/``thread``) the job runs on
@@ -281,11 +352,18 @@ class CompileEngine:
         waits for that solve and reports ``source="deduplicated"`` instead of
         running a second one; otherwise it publishes its own future so
         concurrent submitters of the same target join it.
+
+        When the engine has a bounded admission queue
+        (``max_pending=``/``REPRO_MAX_PENDING``), cold submits route through
+        it under the ``client=`` identity: a saturated engine sheds them with
+        :class:`repro.service.admission.QueueFullError` (or blocks, per the
+        ``overflow`` policy) while cache-answerable submits stay inline.
         """
         target = self._as_target(target)
         fingerprint = target.fingerprint
-        if self._executor.remote and not self._answerable_inline(target, fingerprint):
-            future, owner = self._enqueue(target, fingerprint, {})
+        gated = self._executor.remote or self._admission is not None
+        if gated and not self._answerable_inline(target, fingerprint):
+            future, owner = self._enqueue(target, fingerprint, {}, client=client)
             outcome: CompileResult = future.result()
             self._speculate(target)
             return self._collect(target, future=None, outcome=outcome, owner=owner)
@@ -314,23 +392,44 @@ class CompileEngine:
         self._speculate(target)
         return self._collect(target, future=None, outcome=result, owner=True)
 
-    async def submit_async(self, target: CompileTarget | CompileRequest) -> CompileResult:
+    async def submit_async(
+        self, target: CompileTarget | CompileRequest, *, client: str = ""
+    ) -> CompileResult:
         """Await one target on the worker pool without blocking the event loop.
 
         The result is identical to :meth:`submit` for the same target; the
-        job shares the engine's cache and in-flight dedup, so awaiting a
-        design point that a concurrent batch is already solving costs
-        nothing extra.
+        job shares the engine's cache, in-flight dedup and admission queue,
+        so awaiting a design point that a concurrent batch is already solving
+        costs nothing extra — and a saturated engine sheds or blocks exactly
+        as it would for a synchronous submitter.
         """
         target = self._as_target(target)
-        future, owner = self._enqueue(target, target.fingerprint, {})
+        future, owner = await self._enqueue_off_loop(
+            lambda: self._enqueue(target, target.fingerprint, {}, client=client)
+        )
         outcome: CompileResult = await asyncio.wrap_future(future)
         self._speculate(target)
         return self._collect(target, future=None, outcome=outcome, owner=owner)
 
+    async def _enqueue_off_loop(self, enqueue: "Callable[[], object]"):
+        """Run an enqueue, keeping blocking admission off the event loop.
+
+        Under ``overflow="block"`` a full queue makes the enqueue wait on a
+        condition variable for up to a whole solve; done inline in a
+        coroutine that would freeze every other task on the loop, so it is
+        offloaded to the default thread pool.  The shed policy never blocks
+        (it raises immediately), so the cheap direct call stays.
+        """
+        if self._admission is not None and self._admission.policy == "block":
+            return await asyncio.get_running_loop().run_in_executor(None, enqueue)
+        return enqueue()
+
     # ----------------------------------------------------------------- batch
     def submit_batch(
-        self, requests: Sequence[CompileTarget | CompileRequest] | Iterable[CompileTarget | CompileRequest]
+        self,
+        requests: Sequence[CompileTarget | CompileRequest] | Iterable[CompileTarget | CompileRequest],
+        *,
+        client: str = "",
     ) -> BatchResult:
         """Compile many targets concurrently; results come back in order.
 
@@ -338,15 +437,27 @@ class CompileEngine:
         flight from a concurrent batch — share a single execution; the
         sharers are reported with ``source="deduplicated"``.  A failing
         target yields an error-carrying :class:`CompileResult` instead of
-        raising, so one infeasible design point cannot kill a sweep.
+        raising, so one infeasible design point cannot kill a sweep.  Under a
+        full admission queue with the shed policy, excess items degrade the
+        same way: error results with ``source="rejected"``, never a raised
+        batch.
         """
         targets = [self._as_target(request) for request in requests]
         started = time.perf_counter()
-        slots = self._enqueue_all(targets)
-        results = [
-            self._collect(target, future=future, outcome=None, owner=owner)
-            for target, future, owner in slots
-        ]
+        slots = self._enqueue_all(targets, client=client)
+        results = []
+        for target, future, owner, preset in slots:
+            if preset is not None:
+                results.append(self._reject(preset))
+                continue
+            try:
+                results.append(
+                    self._collect(target, future=future, outcome=None, owner=owner)
+                )
+            except QueueFullError as exc:
+                # A dedup sharer whose owner was shed: report the shed, don't
+                # kill the batch.
+                results.append(self._reject(rejected_result(target, str(exc))))
         self.metrics.record_batch()
         return BatchResult(
             results=results,
@@ -355,26 +466,45 @@ class CompileEngine:
         )
 
     async def submit_batch_async(
-        self, requests: Sequence[CompileTarget | CompileRequest] | Iterable[CompileTarget | CompileRequest]
+        self,
+        requests: Sequence[CompileTarget | CompileRequest] | Iterable[CompileTarget | CompileRequest],
+        *,
+        client: str = "",
     ) -> BatchResult:
         """Async twin of :meth:`submit_batch`: await a whole batch at once.
 
-        Jobs fan out over the same worker pool and dedup machinery as the
-        synchronous path, and the returned :class:`BatchResult` is equal to
-        what :meth:`submit_batch` would produce for the same targets.  If the
-        engine is shut down with ``cancel_pending=True`` while the batch is
-        queued, the await raises :class:`asyncio.CancelledError`.
+        Jobs fan out over the same worker pool, dedup and admission machinery
+        as the synchronous path, and the returned :class:`BatchResult` is
+        equal to what :meth:`submit_batch` would produce for the same
+        targets.  If the engine is shut down with ``cancel_pending=True``
+        while the batch is queued, the await raises
+        :class:`asyncio.CancelledError`.
         """
         targets = [self._as_target(request) for request in requests]
         started = time.perf_counter()
-        slots = self._enqueue_all(targets)
-        outcomes = await asyncio.gather(
-            *(asyncio.wrap_future(future) for _, future, _ in slots)
+        slots = await self._enqueue_off_loop(
+            lambda: self._enqueue_all(targets, client=client)
         )
-        results = [
-            self._collect(target, future=None, outcome=outcome, owner=owner)
-            for (target, _, owner), outcome in zip(slots, outcomes)
-        ]
+        outcomes = await asyncio.gather(
+            *(
+                asyncio.wrap_future(future) if future is not None else _resolved(preset)
+                for _, future, _, preset in slots
+            ),
+            return_exceptions=True,
+        )
+        results = []
+        for (target, future, owner, preset), outcome in zip(slots, outcomes):
+            if preset is not None:
+                results.append(self._reject(preset))
+                continue
+            if isinstance(outcome, QueueFullError):
+                results.append(self._reject(rejected_result(target, str(outcome))))
+                continue
+            if isinstance(outcome, BaseException):
+                raise outcome  # cancellation and fatal errors keep propagating
+            results.append(
+                self._collect(target, future=None, outcome=outcome, owner=owner)
+            )
         self.metrics.record_batch()
         return BatchResult(
             results=results,
@@ -403,7 +533,13 @@ class CompileEngine:
         return fingerprint in self.cache
 
     def _enqueue(
-        self, target: CompileTarget, fingerprint: str, local: dict[str, Future]
+        self,
+        target: CompileTarget,
+        fingerprint: str,
+        local: dict[str, Future],
+        *,
+        client: str = "",
+        gate: bool = True,
     ) -> tuple[Future, bool]:
         """Queue one target on the executor backend, deduplicating against
         ``local`` and the engine-wide in-flight table.  Returns
@@ -415,6 +551,15 @@ class CompileEngine:
         process backend wire-encodes the target there; neither may stall
         every other engine operation.  (Marked running before publication for
         the same cancel-proofing as inline submits.)
+
+        With an admission queue configured, the dispatch is routed through it
+        under the ``client`` identity instead of hitting the executor
+        directly; a shed job settles the published placeholder with the
+        :class:`QueueFullError` (so dedup joiners observe the same rejection)
+        and re-raises it to the submitter.  ``gate=False`` (speculative
+        pre-warm jobs) skips the queue: engine-initiated work must never
+        consume a client's ``max_pending`` slots, inflate ``rejected_total``,
+        or — under the block policy — stall the request that triggered it.
         """
         future = local.get(fingerprint)
         if future is not None:
@@ -432,20 +577,63 @@ class CompileEngine:
             if self._executor.remote:
                 future.add_done_callback(self._absorb_remote_result)
             future.add_done_callback(lambda _f, fp=fingerprint: self._clear_inflight(fp))
+            if self._admission is None or not gate:
+                try:
+                    inner = self._executor.submit(self._execute, target, fingerprint)
+                except BaseException as exc:
+                    # The placeholder is already published: settle it so
+                    # joiners unblock with the same failure and the
+                    # done-callbacks clear the in-flight table — a fingerprint
+                    # must never dedup against a future that can no longer
+                    # resolve.
+                    future.set_exception(exc)
+                    raise
+                inner.add_done_callback(
+                    lambda done, out=future: relay_future(done, out)
+                )
+            else:
+                dispatch = self._dispatcher(target, fingerprint, future)
+                try:
+                    self._admission.submit(
+                        dispatch,
+                        client=client,
+                        # A job dropped by shutdown(cancel_pending=True) must
+                        # settle its placeholder, or dedup joiners hang on a
+                        # future nothing will ever resolve.
+                        on_cancel=lambda: future.set_exception(CancelledError()),
+                    )
+                except BaseException as exc:  # QueueFullError, or a broken queue
+                    future.set_exception(exc)
+                    raise
+        local[fingerprint] = future
+        return future, owner
+
+    def _dispatcher(
+        self, target: CompileTarget, fingerprint: str, future: Future
+    ) -> "Callable[[], Future | None]":
+        """The admission queue's deferred executor submission for one job.
+
+        Runs when a dispatch slot frees up — possibly on another thread, long
+        after the submitter admitted the job — so it must settle the
+        published placeholder itself on failure (returning ``None`` tells the
+        queue the slot is already free again).
+        """
+
+        def dispatch() -> Future | None:
             try:
                 inner = self._executor.submit(self._execute, target, fingerprint)
             except BaseException as exc:
-                # The placeholder is already published: settle it so joiners
-                # unblock with the same failure and the done-callbacks clear
-                # the in-flight table — a fingerprint must never dedup
-                # against a future that can no longer resolve.
                 future.set_exception(exc)
-                raise
-            inner.add_done_callback(
-                lambda done, out=future: relay_future(done, out)
-            )
-        local[fingerprint] = future
-        return future, owner
+                return None
+            inner.add_done_callback(lambda done, out=future: relay_future(done, out))
+            return inner
+
+        return dispatch
+
+    def _reject(self, result: CompileResult) -> CompileResult:
+        """Record a shed job in the request metrics and return its result."""
+        self.metrics.record(self._trace(result))
+        return result
 
     def _absorb_remote_result(self, future: Future) -> None:
         """Adopt a worker process's solve into the in-memory cache tier.
@@ -492,7 +680,13 @@ class CompileEngine:
         )
         for variant in variants:
             try:
-                future, owner = self._enqueue(variant, variant.fingerprint, {})
+                # gate=False: speculation is the engine's own work — it
+                # bypasses the admission queue so it never occupies a
+                # client's max_pending slot, blocks the triggering request,
+                # or pollutes the rejected_total counter.
+                future, owner = self._enqueue(
+                    variant, variant.fingerprint, {}, gate=False
+                )
             except Exception:
                 continue  # the client's own result must never pay for this
             if owner:
@@ -526,15 +720,23 @@ class CompileEngine:
                 pass  # captured per-job; speculation is best-effort
 
     def _enqueue_all(
-        self, targets: list[CompileTarget]
-    ) -> list[tuple[CompileTarget, Future, bool]]:
+        self, targets: list[CompileTarget], *, client: str = ""
+    ) -> list[tuple[CompileTarget, Future | None, bool, CompileResult | None]]:
         # Batch-local duplicates always share one execution (deterministic,
-        # immune to the owner finishing before the twin is enqueued).
+        # immune to the owner finishing before the twin is enqueued).  A slot
+        # the admission queue sheds carries a preset rejected result instead
+        # of a future, so one saturated moment never aborts the whole batch.
         local: dict[str, Future] = {}
-        slots = []
+        slots: list[tuple[CompileTarget, Future | None, bool, CompileResult | None]] = []
         for target in targets:
-            future, owner = self._enqueue(target, target.fingerprint, local)
-            slots.append((target, future, owner))
+            try:
+                future, owner = self._enqueue(
+                    target, target.fingerprint, local, client=client
+                )
+            except QueueFullError as exc:
+                slots.append((target, None, True, rejected_result(target, str(exc))))
+                continue
+            slots.append((target, future, owner, None))
         return slots
 
     def _collect(
@@ -597,10 +799,43 @@ class CompileEngine:
     def hit_rate(self) -> float:
         return self.cache.stats.hit_rate
 
+    def executor_stats(self) -> dict:
+        """Live executor-backend snapshot (worker counts, scaling counters).
+
+        Fixed backends report their configured fleet; the autoscaling
+        backends report the current fleet plus ``scale_ups``/``scale_downs``
+        and recent scaling events.  Republished on ``GET /v1/metrics``.
+        """
+        return self._executor.stats()
+
+    def admission_stats(self) -> dict:
+        """Admission-queue snapshot (``queue_depth``, ``rejected_total``, ...).
+
+        Engines without a bounded queue report the same schema with zero
+        counters, so metrics consumers never branch on configuration.
+        """
+        if self._admission is None:
+            return {
+                "max_pending": None,
+                "overflow": self.overflow,
+                "queue_depth": 0,
+                "inflight": 0,
+                "admitted_total": 0,
+                "rejected_total": 0,
+                "blocked_total": 0,
+                "queued_clients": 0,
+            }
+        return self._admission.stats()
+
     def describe(self) -> str:
         stats = self.cache.stats
+        admission = (
+            f", max_pending={self.max_pending}({self.overflow})"
+            if self.max_pending is not None
+            else ""
+        )
         return (
-            f"CompileEngine(executor={self.executor_name}, workers={self.workers}, "
-            f"cache={len(self.cache)}/{self.cache.max_entries} entries, "
+            f"CompileEngine(executor={self.executor_name}, workers={self.workers}"
+            f"{admission}, cache={len(self.cache)}/{self.cache.max_entries} entries, "
             f"hits={stats.hits}, misses={stats.misses}, hit_rate={stats.hit_rate:.1%})"
         )

@@ -1,5 +1,8 @@
 """Compatibility shim: fingerprinting moved to :mod:`repro.api.fingerprint`.
 
+Stability: internal (import :mod:`repro.api.fingerprint` instead; this module
+exists only so pre-``CompileTarget`` import paths keep working).
+
 The content-addressed fingerprint became part of the public request API when
 :class:`repro.api.CompileTarget` was introduced (``compile_fingerprint`` is
 generator-aware and accepts a target directly).  This module re-exports the

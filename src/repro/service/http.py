@@ -1,5 +1,7 @@
 """Stdlib-only HTTP/JSON serving front over :class:`CompileEngine`.
 
+Stability: public.
+
 This is the network surface of the compilation service: a
 :class:`http.server.ThreadingHTTPServer` whose handler threads submit
 decoded :class:`repro.api.CompileTarget` requests to one shared engine, so
@@ -16,37 +18,62 @@ Endpoints
   ``ok: false`` JSON (the request was served), while undecodable payloads are
   400s.
 * ``POST /v1/batch`` — body: ``{"targets": [...]}``.  Responds 200 with
-  ordered per-item results; an undecodable or failing item yields an
-  error-carrying entry in its slot, never a 500 for the whole batch.
-* ``GET /v1/metrics`` — engine request counters
-  (:meth:`repro.service.metrics.EngineMetrics.summary`).
+  ordered per-item results; an undecodable, failing or queue-shed item
+  yields an error-carrying entry in its slot, never a 500 for the whole
+  batch.
+* ``GET /v1/metrics`` — engine request counters plus executor scaling and
+  admission counters (``rejected_total``, ``queue_depth``, live worker
+  count).
 * ``GET /v1/cache/stats`` — cache occupancy and hit/miss counters.
-* ``GET /healthz`` — liveness probe.
+* ``GET /healthz`` — liveness probe (never authenticated).
+
+Admission control
+-----------------
+``--auth-token-file`` turns on bearer-token authentication
+(:class:`repro.service.admission.TokenAuthenticator`): every ``/v1/*``
+request must carry ``Authorization: Bearer <token>`` or is answered 401;
+without the flag the service stays anonymous (trusted-network mode) and the
+client IP is the identity.  ``--rate-limit rps:burst`` adds a per-identity
+token bucket — throttled requests get 429 with a precise ``Retry-After``.
+``--max-pending``/``--overflow`` bound the engine's submission queue: a
+saturated engine sheds cold submits with 429 (``reason: "queue-full"``)
+while in-flight work completes.  See ``docs/serving.md`` for the full
+semantics and curl examples.
 
 Run a server::
 
     PYTHONPATH=src python -m repro.service.http --port 8080 \
-        --cache-dir .imagen-cache --workers 4 --executor process
+        --cache-dir .imagen-cache --workers 4 --executor process:auto \
+        --auth-token-file tokens.txt --rate-limit 10:20 --max-pending 64
 
 or embed one (tests, examples) with :func:`start_server`, and talk to it with
 the :class:`ServiceClient` helper (stdlib ``http.client``, no dependencies).
 ``--executor`` selects the engine's execution backend (default: the
 ``REPRO_EXECUTOR`` environment variable, falling back to ``thread``); the
-``process`` backend keeps compiles parallel even on the pure-Python solver
-fallback.  ``--cache-max-bytes``/``--cache-max-age-seconds`` bound a shared
-disk cache volume (LRU-by-mtime eviction on save).
+``process`` backends keep compiles parallel even on the pure-Python solver
+fallback, and the ``:auto`` variants autoscale the fleet with demand.
+``--cache-max-bytes``/``--cache-max-age-seconds`` bound a shared disk cache
+volume (LRU-by-mtime eviction on save).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import threading
-from http.client import HTTPConnection
+from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.api.target import CompileTarget
 from repro.errors import ReproError
+from repro.service.admission import (
+    QueueFullError,
+    RateLimiter,
+    TokenAuthenticator,
+    parse_rate_limit,
+    validate_max_pending,
+)
 from repro.service.cache import CompileCache, DiskCacheStore
 from repro.service.engine import CompileEngine
 from repro.service.executor import EXECUTOR_NAMES, validate_worker_count
@@ -67,7 +94,32 @@ DEFAULT_PORT = 8080
 
 
 class ServiceError(ReproError):
-    """A non-2xx response from the compile service."""
+    """A non-2xx response (or transport failure) from the compile service.
+
+    Typed so callers can branch without parsing message strings:
+
+    ``status``
+        The HTTP status code, or ``None`` for transport-level failures
+        (connection refused, mid-response disconnect).
+    ``body``
+        The parsed JSON error body (``{}`` when none could be read).
+    ``retry_after``
+        Seconds from the ``Retry-After`` header on 429 responses, else
+        ``None`` — a client seeing it should back off, not retry hot.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | None = None,
+        body: dict | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body if body is not None else {}
+        self.retry_after = retry_after
 
 
 class CompileServiceHandler(BaseHTTPRequestHandler):
@@ -86,15 +138,61 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
+    # -------------------------------------------------------------- admission
+    def _identify(self) -> str | None:
+        """Authenticate the request; returns the client identity or ``None``
+        after sending a 401.
+
+        Anonymous mode (no authenticator configured) keys identity on the
+        client address, so rate limits and queue fairness still distinguish
+        hosts on a trusted network.
+        """
+        authenticator = self.server.authenticator
+        if authenticator is None:
+            return f"ip:{self.client_address[0]}"
+        identity = authenticator.authenticate_header(self.headers.get("Authorization"))
+        if identity is None:
+            self._send(
+                401,
+                {"error": "Missing, invalid or expired bearer token"},
+                extra_headers={"WWW-Authenticate": 'Bearer realm="imagen-compile"'},
+            )
+            return None
+        return identity
+
+    def _throttle(self, identity: str, cost: int) -> bool:
+        """Charge the rate limiter; returns False after sending a 429."""
+        limiter = self.server.rate_limiter
+        if limiter is None:
+            return True
+        decision = limiter.admit(identity, cost=cost)
+        if decision.allowed:
+            return True
+        self._send_retry(
+            f"Rate limit exceeded for {identity!r} "
+            f"({limiter.rate:g} rps, burst {limiter.burst:g})",
+            reason="rate-limited",
+            retry_after=decision.retry_after,
+        )
+        return False
+
+    def _send_retry(self, message: str, *, reason: str, retry_after: float) -> None:
+        retry_after = max(0.0, retry_after)
+        self._send(
+            429,
+            {"error": message, "reason": reason, "retry_after": round(retry_after, 3)},
+            extra_headers={"Retry-After": str(max(1, math.ceil(retry_after)))},
+        )
+
     # ----------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         if self.path == "/healthz":
-            self._send(200, {"status": "ok"})
-        elif self.path == "/v1/metrics":
-            summary = self.engine.metrics.summary()
-            summary["executor"] = self.engine.executor_name
-            summary["workers"] = self.engine.workers
-            self._send(200, summary)
+            self._send(200, {"status": "ok"})  # liveness stays unauthenticated
+            return
+        if self._identify() is None:
+            return
+        if self.path == "/v1/metrics":
+            self._send(200, self._metrics())
         elif self.path == "/v1/cache/stats":
             self._send(200, self._cache_stats())
         else:
@@ -108,29 +206,42 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         else:
             self._send(404, {"error": f"Unknown path {self.path!r}"})
             return
+        identity = self._identify()
+        if identity is None:
+            return
         payload = self._read_json()
         if payload is None:
             return  # error response already sent
         try:
-            route(payload)
+            route(payload, identity)
         except WireFormatError as exc:
             self._send(400, {"error": str(exc)})
+        except QueueFullError as exc:
+            # The engine's bounded queue shed this submit: degrade loudly and
+            # cheaply, with the engine's own estimate of when to come back.
+            self._send_retry(str(exc), reason="queue-full", retry_after=exc.retry_after)
         except Exception as exc:  # noqa: BLE001 - errors must be JSON, not resets
             # The service contract is "errors come back as JSON": an internal
             # failure becomes a 500 body instead of an opaque dropped socket.
             self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
 
-    def _compile_one(self, payload) -> None:
+    def _compile_one(self, payload, identity: str) -> None:
         # Accept the bare wire target, or {"target": {...}} for symmetry with
         # the batch endpoint.
         if isinstance(payload, dict) and "target" in payload:
             payload = payload["target"]
         target = target_from_wire(payload)
-        self._send(200, result_to_wire(self.engine.submit(target)))
+        if not self._throttle(identity, cost=1):
+            return
+        self._send(200, result_to_wire(self.engine.submit(target, client=identity)))
 
-    def _compile_batch(self, payload) -> None:
+    def _compile_batch(self, payload, identity: str) -> None:
         if not isinstance(payload, dict) or not isinstance(payload.get("targets"), list):
             raise WireFormatError('Batch body must be {"targets": [...]}')
+        # Rate limiting charges one token per design point, not per HTTP
+        # request — a 100-target batch costs what 100 single compiles would.
+        if not self._throttle(identity, cost=max(1, len(payload["targets"]))):
+            return
         decoded: list[CompileTarget | None] = []
         decode_errors: dict[int, str] = {}
         for index, item in enumerate(payload["targets"]):
@@ -139,7 +250,9 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
             except WireFormatError as exc:
                 decoded.append(None)
                 decode_errors[index] = str(exc)
-        batch = self.engine.submit_batch([t for t in decoded if t is not None])
+        batch = self.engine.submit_batch(
+            [t for t in decoded if t is not None], client=identity
+        )
         body = batch_result_to_wire(batch)
         # Splice per-item decode failures back into request order: a bad
         # item degrades to an error entry in its slot, not a 500.
@@ -153,6 +266,25 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         self._send(200, body)
 
     # -------------------------------------------------------------- plumbing
+    def _metrics(self) -> dict:
+        """Engine counters + executor scaling + admission/throttle state.
+
+        One flat JSON object: the acceptance keys are ``rejected_total``,
+        ``queue_depth`` and ``workers`` (the *live* fleet; ``max_workers`` is
+        the configured ceiling).
+        """
+        summary = self.engine.metrics.summary()
+        summary.update(self.engine.executor_stats())
+        summary.update(self.engine.admission_stats())
+        summary["auth"] = "token" if self.server.authenticator else "anonymous"
+        limiter = self.server.rate_limiter
+        if limiter is not None:
+            summary["rate_limit"] = limiter.stats()
+            summary["throttled_total"] = limiter.throttled_total
+        else:
+            summary["throttled_total"] = 0
+        return summary
+
     def _cache_stats(self) -> dict:
         cache = self.engine.cache
         stats = {
@@ -188,11 +320,13 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
             self._send(400, {"error": "Request body is not valid JSON"})
             return None
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(self, status: int, payload: dict, *, extra_headers: dict | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if status >= 400:
             # Error paths may not have drained the request body; carrying on
             # with keep-alive would let those bytes be parsed as the next
@@ -204,7 +338,13 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
 
 
 class CompileServiceServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one shared :class:`CompileEngine`."""
+    """A threading HTTP server bound to one shared :class:`CompileEngine`.
+
+    ``authenticator`` (a :class:`TokenAuthenticator`) turns on bearer-token
+    auth for every ``/v1/*`` endpoint; ``rate_limiter`` (a
+    :class:`RateLimiter`) throttles compile submissions per identity.  Both
+    default to off, preserving the trusted-network behaviour.
+    """
 
     daemon_threads = True
 
@@ -214,9 +354,13 @@ class CompileServiceServer(ThreadingHTTPServer):
         engine: CompileEngine,
         *,
         verbose: bool = False,
+        authenticator: TokenAuthenticator | None = None,
+        rate_limiter: RateLimiter | None = None,
     ) -> None:
         self.engine = engine
         self.verbose = verbose
+        self.authenticator = authenticator
+        self.rate_limiter = rate_limiter
         self._serve_thread: threading.Thread | None = None
         super().__init__(address, CompileServiceHandler)
 
@@ -240,14 +384,24 @@ def start_server(
     host: str = DEFAULT_HOST,
     port: int = 0,
     verbose: bool = False,
+    authenticator: TokenAuthenticator | None = None,
+    rate_limiter: RateLimiter | None = None,
 ) -> CompileServiceServer:
     """Boot a service in a background thread; returns the bound server.
 
     ``port=0`` binds an ephemeral port (read it back from ``server.port``) —
     the shape tests and examples want.  Call :meth:`CompileServiceServer.stop`
     when done; the engine's lifecycle stays with the caller.
+    ``authenticator``/``rate_limiter`` enable admission control exactly like
+    the ``--auth-token-file``/``--rate-limit`` CLI flags.
     """
-    server = CompileServiceServer((host, port), engine, verbose=verbose)
+    server = CompileServiceServer(
+        (host, port),
+        engine,
+        verbose=verbose,
+        authenticator=authenticator,
+        rate_limiter=rate_limiter,
+    )
     thread = threading.Thread(
         target=server.serve_forever, name="repro-http-serve", daemon=True
     )
@@ -261,16 +415,26 @@ class ServiceClient:
 
     One fresh ``http.client.HTTPConnection`` per request keeps the client
     trivially thread-safe; responses are the parsed JSON bodies.  Non-2xx
-    responses raise :class:`ServiceError` (compile *failures* are 200s with
-    ``ok: false`` — inspect the returned dict).
+    responses — including the admission layer's 401 and 429 — raise
+    :class:`ServiceError` carrying ``status``, the parsed error ``body`` and
+    (on 429) ``retry_after``; transport failures raise it with
+    ``status=None``.  Compile *failures* are 200s with ``ok: false`` —
+    inspect the returned dict.  ``token`` is sent as ``Authorization:
+    Bearer <token>`` on every request.
     """
 
     def __init__(
-        self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, *, timeout: float = 120.0
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 120.0,
+        token: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.token = token
 
     def compile(self, target: CompileTarget) -> dict:
         """Compile one target remotely; returns the wire-format result."""
@@ -296,9 +460,18 @@ class ServiceClient:
         try:
             body = None if payload is None else json.dumps(payload).encode("utf-8")
             headers = {"Content-Type": "application/json"} if body is not None else {}
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
+            if self.token is not None:
+                headers["Authorization"] = f"Bearer {self.token}"
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, HTTPException) as exc:
+                # Surface transport failures as the same typed error clients
+                # already catch, instead of whatever http.client raises.
+                raise ServiceError(
+                    f"{method} {path} failed: {type(exc).__name__}: {exc}"
+                ) from exc
         finally:
             connection.close()
         try:
@@ -306,8 +479,18 @@ class ServiceClient:
         except (UnicodeDecodeError, ValueError):
             data = {"error": raw[:200].decode("utf-8", "replace")}
         if response.status >= 400:
+            retry_after = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
             raise ServiceError(
-                f"{method} {path} -> HTTP {response.status}: {data.get('error', data)}"
+                f"{method} {path} -> HTTP {response.status}: {data.get('error', data)}",
+                status=response.status,
+                body=data if isinstance(data, dict) else {"error": data},
+                retry_after=retry_after,
             )
         return data
 
@@ -348,6 +531,32 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--max-cache-entries", type=int, default=512, help="in-memory LRU capacity (default: %(default)s)"
     )
+    parser.add_argument(
+        "--auth-token-file",
+        default=None,
+        help="enable bearer-token auth: a file of 'token', 'identity:token' or "
+        "'identity:token:expires=<epoch>' lines (default: anonymous)",
+    )
+    parser.add_argument(
+        "--rate-limit",
+        default=None,
+        metavar="RPS:BURST",
+        help="per-identity token-bucket rate limit on compile submissions, "
+        "e.g. 10:20 (default: unlimited)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        default=None,
+        help="bound on queued-but-undispatched compile jobs "
+        "(default: REPRO_MAX_PENDING or unbounded)",
+    )
+    parser.add_argument(
+        "--overflow",
+        choices=("shed", "block"),
+        default="shed",
+        help="full-queue policy: shed (429 + Retry-After) or block "
+        "(backpressure the handler thread) (default: %(default)s)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
     args = parser.parse_args(argv)
 
@@ -357,6 +566,20 @@ def main(argv=None) -> None:
             if args.workers is None
             else validate_worker_count(args.workers, source="--workers")
         )
+        max_pending = (
+            None
+            if args.max_pending is None
+            else validate_max_pending(args.max_pending, source="--max-pending")
+        )
+        authenticator = (
+            TokenAuthenticator.from_file(args.auth_token_file)
+            if args.auth_token_file is not None
+            else None
+        )
+        rate_limiter = None
+        if args.rate_limit is not None:
+            rate, burst = parse_rate_limit(args.rate_limit)
+            rate_limiter = RateLimiter(rate, burst)
         cache = None
         if args.cache_dir is not None:
             store = DiskCacheStore(
@@ -372,15 +595,28 @@ def main(argv=None) -> None:
             executor=args.executor,
             cache=cache,
             max_cache_entries=args.max_cache_entries,
+            max_pending=max_pending,
+            overflow=args.overflow,
         )
-    except ValueError as exc:  # bad --workers, REPRO_WORKERS, REPRO_EXECUTOR, bounds
+    except (OSError, ValueError) as exc:  # bad flags, env bounds, token file
         parser.error(str(exc))
-    server = CompileServiceServer((args.host, args.port), engine, verbose=not args.quiet)
+    server = CompileServiceServer(
+        (args.host, args.port),
+        engine,
+        verbose=not args.quiet,
+        authenticator=authenticator,
+        rate_limiter=rate_limiter,
+    )
     cache_note = f", cache-dir={args.cache_dir}" if args.cache_dir else ""
+    admission_note = (
+        f", auth={'token' if authenticator else 'anonymous'}"
+        + (f", rate-limit={args.rate_limit}" if rate_limiter else "")
+        + (f", max-pending={max_pending}({args.overflow})" if max_pending else "")
+    )
     print(
         f"imagen compile service on http://{args.host}:{server.port} "
-        f"(executor={engine.executor_name}, workers={engine.workers}{cache_note}) "
-        f"— Ctrl-C to stop"
+        f"(executor={engine.executor_name}, workers={engine.workers}{cache_note}"
+        f"{admission_note}) — Ctrl-C to stop"
     )
     try:
         server.serve_forever()

@@ -1,5 +1,7 @@
 """Typed job records and job execution for the compilation service.
 
+Stability: public.
+
 The engine's unit of work is a :class:`repro.api.CompileTarget`; a
 :class:`CompileResult` carries the target it answered plus either the compiled
 accelerator or a captured error, so that one infeasible design point never
@@ -45,9 +47,27 @@ class CompileStatus(enum.Enum):
 
 
 #: Where a result came from: ``"memory"``/``"disk"`` (cache tiers),
-#: ``"solver"`` (at least one fresh generator run), or ``"deduplicated"``
-#: (shared with an identical in-flight request).
+#: ``"solver"`` (at least one fresh generator run), ``"deduplicated"``
+#: (shared with an identical in-flight request), or ``"rejected"`` (shed by
+#: the engine's bounded admission queue — the job never ran).
 SOURCE_DEDUPLICATED = "deduplicated"
+SOURCE_REJECTED = "rejected"
+
+
+def rejected_result(target: CompileTarget, reason: str) -> CompileResult:
+    """An error-carrying result for a job the admission queue shed.
+
+    Batch submissions report shed design points this way — in their slots,
+    with ``source="rejected"`` and zero latency — so a saturated engine
+    degrades item-by-item exactly like an infeasible design point does.
+    """
+    return CompileResult(
+        target=target,
+        fingerprint=target.fingerprint,
+        error=reason,
+        source=SOURCE_REJECTED,
+        seconds=0.0,
+    )
 
 
 @dataclass

@@ -1,8 +1,13 @@
 """Per-engine request metrics: latency, throughput and cache effectiveness.
 
+Stability: public.
+
 The engine records one :class:`RequestTrace` per job into a bounded ring and
 keeps aggregate counters, so long-running services can expose hit rates and
-latency percentiles without unbounded memory growth.
+latency percentiles without unbounded memory growth.  Jobs shed by the
+admission queue arrive as traces with ``source="rejected"`` and count toward
+``errors``; the queue's own ``rejected_total`` counter (surfaced on
+``GET /v1/metrics``) is the authoritative shed count.
 """
 
 from __future__ import annotations
@@ -63,6 +68,10 @@ class EngineMetrics:
         """Latency percentile (0..1) over the recent-trace window."""
         with self._lock:
             latencies = sorted(trace.seconds for trace in self.recent)
+        return self._percentile_of(latencies, fraction)
+
+    @staticmethod
+    def _percentile_of(latencies: list[float], fraction: float) -> float:
         if not latencies:
             return 0.0
         index = min(len(latencies) - 1, int(round(fraction * (len(latencies) - 1))))
@@ -70,6 +79,7 @@ class EngineMetrics:
 
     def summary(self) -> dict[str, float | int]:
         with self._lock:
+            latencies = sorted(trace.seconds for trace in self.recent)
             return {
                 "requests": self.requests,
                 "compiled": self.compiled,
@@ -79,4 +89,6 @@ class EngineMetrics:
                 "batches": self.batches,
                 "total_seconds": round(self.total_seconds, 6),
                 "mean_seconds": round(self.mean_seconds, 6),
+                "p50_seconds": round(self._percentile_of(latencies, 0.50), 6),
+                "p95_seconds": round(self._percentile_of(latencies, 0.95), 6),
             }

@@ -1,5 +1,8 @@
 """JSON wire codec for the HTTP serving front.
 
+Stability: public.  (The payload layouts themselves are specified, with
+versioning and compatibility rules, in ``docs/wire-protocol.md``.)
+
 The network boundary of the compilation service speaks plain JSON.  This
 module defines the (de)serialization of the two objects that cross it:
 

@@ -1,0 +1,685 @@
+"""Unit tests for the admission-control layer.
+
+Covers the ISSUE's edge cases: expired/garbage tokens, burst-then-refill
+timing, queue-full shed vs block, autoscaler ceilings and idle retirement,
+and round-robin fairness under two competing identities.  Timing-sensitive
+pieces (rate buckets, idle expiry) use injected fake clocks; saturation tests
+gate the solver on events so nothing here depends on real solve latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import CancelledError, Future
+
+import pytest
+
+import repro.service.engine as engine_module
+from repro.api import CompileTarget
+from repro.service import CompileEngine
+from repro.service.admission import (
+    MAX_PENDING_ENV_VAR,
+    AdmissionQueue,
+    QueueFullError,
+    RateLimiter,
+    TokenAuthenticator,
+    parse_rate_limit,
+    parse_token_line,
+    validate_max_pending,
+)
+from repro.service.executor import AutoscalingExecutor, ThreadExecutor
+from repro.service.jobs import SOURCE_REJECTED
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+
+def _target(index: int = 0) -> CompileTarget:
+    # Distinct widths keep fingerprints cold across one test.
+    return CompileTarget(build_chain(3), image_width=W + 2 * index, image_height=H)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# Token authentication
+# ---------------------------------------------------------------------------
+class TestTokenAuthenticator:
+    def test_token_file_parsing(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        path.write_text(
+            "# comment line\n"
+            "\n"
+            "bare-secret\n"
+            "alice:alice-secret\n"
+            "carol:carol-secret:expires=2000\n"
+        )
+        auth = TokenAuthenticator.from_file(path, clock=FakeClock(1000.0))
+        assert len(auth) == 3
+        assert auth.authenticate_token("alice-secret") == "alice"
+        assert auth.authenticate_token("carol-secret") == "carol"
+        # Bare tokens get a stable derived identity.
+        derived = auth.authenticate_token("bare-secret")
+        assert derived and derived.startswith("token-")
+
+    def test_garbage_and_wrong_tokens_rejected(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        path.write_text("alice:alice-secret\n")
+        auth = TokenAuthenticator.from_file(path)
+        assert auth.authenticate_token("garbage") is None
+        assert auth.authenticate_token("") is None
+        assert auth.authenticate_token("alice-secret-") is None
+        assert auth.authenticate_token("alice-secre") is None
+
+    def test_expired_token_rejected_exactly_like_garbage(self, tmp_path):
+        clock = FakeClock(1000.0)
+        path = tmp_path / "tokens.txt"
+        path.write_text("carol:carol-secret:expires=1500\n")
+        auth = TokenAuthenticator.from_file(path, clock=clock)
+        assert auth.authenticate_token("carol-secret") == "carol"
+        clock.advance(500.0)  # now == expiry: expired
+        assert auth.authenticate_token("carol-secret") is None
+
+    def test_header_parsing_accepts_only_bearer(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        path.write_text("alice:alice-secret\n")
+        auth = TokenAuthenticator.from_file(path)
+        assert auth.authenticate_header("Bearer alice-secret") == "alice"
+        assert auth.authenticate_header("bearer alice-secret") == "alice"
+        assert auth.authenticate_header(None) is None
+        assert auth.authenticate_header("") is None
+        assert auth.authenticate_header("Basic alice-secret") is None
+        assert auth.authenticate_header("alice-secret") is None
+        assert auth.authenticate_header("Bearer ") is None
+
+    def test_malformed_token_lines_fail_loudly(self):
+        with pytest.raises(ValueError, match="expiry"):
+            parse_token_line("a:b:expires=soon", lineno=3)
+        with pytest.raises(ValueError, match="line 4"):
+            parse_token_line("a:b:c:d", lineno=4)
+        with pytest.raises(ValueError, match="empty token"):
+            parse_token_line("alice:", lineno=5)
+
+    def test_empty_token_file_rejected(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        path.write_text("# only comments\n")
+        with pytest.raises(ValueError, match="no tokens"):
+            TokenAuthenticator.from_file(path)
+
+
+# ---------------------------------------------------------------------------
+# Rate limiting
+# ---------------------------------------------------------------------------
+class TestRateLimiter:
+    def test_burst_then_refill_timing(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=2.0, burst=3.0, clock=clock)
+        assert all(limiter.admit("alice").allowed for _ in range(3))
+        denied = limiter.admit("alice")
+        assert not denied.allowed
+        assert denied.retry_after == pytest.approx(0.5)  # 1 token at 2 rps
+        clock.advance(0.25)  # half a token: still short
+        assert not limiter.admit("alice").allowed
+        clock.advance(0.3)
+        assert limiter.admit("alice").allowed
+        assert limiter.throttled_total == 2
+
+    def test_bucket_caps_at_burst(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(3600.0)  # an hour idle must not bank 36000 tokens
+        assert limiter.admit("alice").allowed
+        assert limiter.admit("alice").allowed
+        assert not limiter.admit("alice").allowed
+
+    def test_identities_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        assert limiter.admit("alice").allowed
+        assert not limiter.admit("alice").allowed
+        assert limiter.admit("bob").allowed  # bob's bucket untouched
+
+    def test_batch_cost_charges_per_target(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=10.0, clock=clock)
+        assert limiter.admit("alice", cost=8).allowed
+        denied = limiter.admit("alice", cost=4)
+        assert not denied.allowed
+        assert denied.retry_after == pytest.approx(2.0)  # needs 2 more tokens
+
+    def test_oversized_batch_admits_on_full_bucket_with_overdraft(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=4.0, clock=clock)
+        assert limiter.admit("alice", cost=10).allowed  # full bucket pays
+        # The overdraft (-6) delays everything after it.
+        denied = limiter.admit("alice")
+        assert not denied.allowed
+        assert denied.retry_after == pytest.approx(7.0)  # -6 -> 1 at 1 rps
+
+    def test_parse_rate_limit(self):
+        assert parse_rate_limit("10:20") == (10.0, 20.0)
+        assert parse_rate_limit("0.5:2") == (0.5, 2.0)
+        assert parse_rate_limit("4") == (4.0, 4.0)
+        for bad in ("", "a:b", "1:2:3", "-1:2", "0:5"):
+            with pytest.raises(ValueError):
+                parse_rate_limit(bad)
+
+
+# ---------------------------------------------------------------------------
+# The bounded fair queue (direct)
+# ---------------------------------------------------------------------------
+def _manual_dispatch(record: list, name: str):
+    """A dispatch closure that records its order and hands back a settleable
+    future (the test plays the role of the executor)."""
+    future: Future = Future()
+    future.set_running_or_notify_cancel()
+
+    def dispatch():
+        record.append((name, future))
+        return future
+
+    return dispatch
+
+
+class TestAdmissionQueue:
+    def test_shed_raises_queue_full_with_retry_after(self):
+        queue = AdmissionQueue(1, max_pending=1, policy="shed", retry_after=lambda: 2.5)
+        record: list = []
+        queue.submit(_manual_dispatch(record, "running"))  # occupies the slot
+        queue.submit(_manual_dispatch(record, "waiting"))  # fills the queue
+        with pytest.raises(QueueFullError) as info:
+            queue.submit(_manual_dispatch(record, "excess"))
+        assert info.value.retry_after == pytest.approx(2.5)
+        assert queue.stats()["rejected_total"] == 1
+        assert queue.stats()["queue_depth"] == 1
+
+    def test_block_policy_waits_for_space(self):
+        queue = AdmissionQueue(1, max_pending=1, policy="block")
+        record: list = []
+        queue.submit(_manual_dispatch(record, "running"))
+        queue.submit(_manual_dispatch(record, "waiting"))
+        unblocked = threading.Event()
+
+        def blocked_submit():
+            queue.submit(_manual_dispatch(record, "blocked"))
+            unblocked.set()
+
+        thread = threading.Thread(target=blocked_submit)
+        thread.start()
+        assert not unblocked.wait(0.3)  # genuinely blocked while full
+        record[0][1].set_result(None)  # finish the running job -> space frees
+        assert unblocked.wait(5.0)
+        thread.join()
+        assert queue.stats()["blocked_total"] == 1
+        # Drain the rest so no dangling callbacks fire mid-teardown.
+        while record:
+            name, future = record.pop(0)
+            if not future.done():
+                future.set_result(None)
+
+    def test_round_robin_fairness_between_two_identities(self):
+        """A flooding client's backlog drains interleaved with the other
+        client's, not ahead of it."""
+        queue = AdmissionQueue(1, max_pending=10, policy="shed")
+        record: list = []
+        queue.submit(_manual_dispatch(record, "gate"), client="alice")
+        # alice floods 4 more; bob submits 2 afterwards.
+        for index in range(4):
+            queue.submit(_manual_dispatch(record, f"alice-{index}"), client="alice")
+        for index in range(2):
+            queue.submit(_manual_dispatch(record, f"bob-{index}"), client="bob")
+        # Drain: settle each dispatched job, which pumps the next one.
+        position = 0
+        while position < len(record):
+            record[position][1].set_result(None)
+            position += 1
+        order = [name for name, _ in record[1:]]
+        assert order == ["alice-0", "bob-0", "alice-1", "bob-1", "alice-2", "alice-3"]
+
+    def test_within_one_identity_fifo_order_is_preserved(self):
+        queue = AdmissionQueue(1, max_pending=10, policy="shed")
+        record: list = []
+        for index in range(4):
+            queue.submit(_manual_dispatch(record, f"job-{index}"), client="alice")
+        position = 0
+        while position < len(record):
+            record[position][1].set_result(None)
+            position += 1
+        assert [name for name, _ in record] == [f"job-{index}" for index in range(4)]
+
+    def test_failed_dispatch_frees_the_slot(self):
+        queue = AdmissionQueue(1, max_pending=4, policy="shed")
+        record: list = []
+
+        def broken_dispatch():
+            raise RuntimeError("executor exploded")
+
+        queue.submit(broken_dispatch)
+        # The slot must be free again: the next job dispatches immediately.
+        queue.submit(_manual_dispatch(record, "after"))
+        assert [name for name, _ in record] == ["after"]
+        assert queue.stats()["inflight"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="policy"):
+            AdmissionQueue(1, max_pending=1, policy="drop")
+        with pytest.raises(ValueError, match="max_pending"):
+            AdmissionQueue(1, max_pending=0)
+        with pytest.raises(ValueError, match="REPRO_MAX_PENDING"):
+            validate_max_pending("lots", source=MAX_PENDING_ENV_VAR)
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: saturation, shed vs block, fairness counters
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def slow_solver(monkeypatch):
+    """Gate every solve on an event so tests control engine saturation."""
+    gate = threading.Event()
+    real = engine_module.compile_pipeline
+
+    def gated(target, cache=None):
+        if not gate.wait(timeout=30):
+            raise TimeoutError("slow_solver gate never opened")
+        return real(target, cache=cache)
+
+    monkeypatch.setattr(engine_module, "compile_pipeline", gated)
+    return gate
+
+
+def _submit_in_thread(engine, target, client, outcomes):
+    def run():
+        try:
+            outcomes.append(engine.submit(target, client=client))
+        except QueueFullError as exc:
+            outcomes.append(exc)
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    return thread
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestEngineAdmission:
+    def test_saturated_engine_sheds_excess_while_inflight_completes(self, slow_solver):
+        """Acceptance: max_pending=4 + slow solves -> excess submits shed,
+        admitted work still completes once the solver unblocks."""
+        engine = CompileEngine(workers=1, executor="thread", max_pending=4)
+        outcomes: list = []
+        try:
+            threads = [
+                _submit_in_thread(engine, _target(i), "flood", outcomes)
+                for i in range(5)  # 1 dispatched + 4 queued
+            ]
+            assert _wait_for(lambda: engine.admission_stats()["queue_depth"] == 4)
+            with pytest.raises(QueueFullError):
+                engine.submit(_target(5), client="flood")
+            stats = engine.admission_stats()
+            assert stats["rejected_total"] == 1
+            assert stats["queue_depth"] == 4
+            slow_solver.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert len(outcomes) == 5
+            assert all(getattr(result, "ok", False) for result in outcomes)
+            assert engine.admission_stats()["queue_depth"] == 0
+        finally:
+            slow_solver.set()
+            engine.shutdown()
+
+    def test_block_policy_backpressures_instead_of_shedding(self, slow_solver):
+        engine = CompileEngine(workers=1, executor="thread", max_pending=1, overflow="block")
+        outcomes: list = []
+        try:
+            first = _submit_in_thread(engine, _target(0), "a", outcomes)
+            assert _wait_for(lambda: engine.admission_stats()["inflight"] == 1)
+            second = _submit_in_thread(engine, _target(1), "a", outcomes)
+            assert _wait_for(lambda: engine.admission_stats()["queue_depth"] == 1)
+            third = _submit_in_thread(engine, _target(2), "a", outcomes)
+            assert _wait_for(lambda: engine.admission_stats()["blocked_total"] == 1)
+            assert len(outcomes) == 0  # nobody shed, nobody done
+            slow_solver.set()
+            for thread in (first, second, third):
+                thread.join(timeout=30)
+            assert all(getattr(result, "ok", False) for result in outcomes)
+            assert engine.admission_stats()["rejected_total"] == 0
+        finally:
+            slow_solver.set()
+            engine.shutdown()
+
+    def test_batch_degrades_shed_items_to_rejected_results(self, slow_solver):
+        engine = CompileEngine(workers=1, executor="thread", max_pending=2)
+        blocker_results: list = []
+        try:
+            blocker = _submit_in_thread(engine, _target(0), "other", blocker_results)
+            assert _wait_for(lambda: engine.admission_stats()["inflight"] == 1)
+            slow_solver.set()  # queued batch items may run as slots free
+            batch = engine.submit_batch([_target(i) for i in range(1, 6)], client="bulk")
+        finally:
+            slow_solver.set()
+            blocker.join(timeout=30)
+            engine.shutdown()
+        rejected = [r for r in batch.results if r.source == SOURCE_REJECTED]
+        completed = [r for r in batch.results if r.ok]
+        assert rejected and completed  # some shed, batch itself survived
+        assert all(not r.ok and "queue is full" in r.error for r in rejected)
+        assert engine.admission_stats()["rejected_total"] == len(rejected)
+
+    def test_cache_answerable_submits_bypass_admission(self, slow_solver):
+        slow_solver.set()
+        engine = CompileEngine(workers=1, executor="thread", max_pending=1)
+        try:
+            target = _target(0)
+            assert engine.submit(target, client="a").source == "solver"
+            admitted = engine.admission_stats()["admitted_total"]
+            assert engine.submit(target, client="a").source == "memory"
+            # The warm repeat never touched the queue.
+            assert engine.admission_stats()["admitted_total"] == admitted
+        finally:
+            engine.shutdown()
+
+    def test_env_var_enables_admission(self, monkeypatch):
+        monkeypatch.setenv(MAX_PENDING_ENV_VAR, "7")
+        engine = CompileEngine(workers=1, executor="inline")
+        try:
+            assert engine.max_pending == 7
+            assert engine.admission_stats()["max_pending"] == 7
+        finally:
+            engine.shutdown()
+        monkeypatch.setenv(MAX_PENDING_ENV_VAR, "zero")
+        with pytest.raises(ValueError, match=MAX_PENDING_ENV_VAR):
+            CompileEngine(workers=1, executor="inline")
+
+    def test_invalid_admission_settings_rejected(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            CompileEngine(workers=1, max_pending=0)
+        with pytest.raises(ValueError, match="overflow|policy"):
+            CompileEngine(workers=1, max_pending=4, overflow="drop")
+        with pytest.raises(ValueError, match="overflow"):
+            CompileEngine(workers=1, overflow="drop")
+
+    def test_width_follows_a_ready_made_backend_instance(self, slow_solver):
+        """A passed-in backend's own fleet sizes the dispatch width — an
+        8-worker pool behind a 1-worker engine default must still see
+        3 concurrent dispatches, not 1."""
+        engine = CompileEngine(
+            workers=1, executor=ThreadExecutor(3), max_pending=4
+        )
+        outcomes: list = []
+        try:
+            threads = [
+                _submit_in_thread(engine, _target(i), "a", outcomes) for i in range(3)
+            ]
+            assert _wait_for(lambda: engine.admission_stats()["inflight"] == 3)
+            assert engine.admission_stats()["queue_depth"] == 0
+            slow_solver.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert all(getattr(result, "ok", False) for result in outcomes)
+        finally:
+            slow_solver.set()
+            engine.shutdown()
+
+    def test_shutdown_cancel_pending_cancels_admission_queued_jobs(self, slow_solver):
+        """Jobs still waiting in the admission queue must resolve with
+        CancelledError on shutdown(cancel_pending=True), not get pumped into
+        a transparently recreated pool afterwards."""
+        engine = CompileEngine(workers=1, executor="thread", max_pending=2)
+        outcomes: list = []
+
+        def run(target):
+            try:
+                outcomes.append(engine.submit(target, client="a"))
+            except CancelledError:
+                outcomes.append("cancelled")
+
+        threads = [
+            threading.Thread(target=run, args=(_target(i),)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            assert _wait_for(lambda: engine.admission_stats()["queue_depth"] == 2)
+            engine.shutdown(wait=False, cancel_pending=True)
+            assert _wait_for(
+                lambda: outcomes.count("cancelled") == 2
+            ), f"queued submits not cancelled: {outcomes}"
+            assert engine.admission_stats()["queue_depth"] == 0
+            slow_solver.set()  # let the already-dispatched job finish
+            for thread in threads:
+                thread.join(timeout=30)
+            assert outcomes.count("cancelled") == 2
+        finally:
+            slow_solver.set()
+            engine.shutdown()
+
+    def test_prewarm_speculation_bypasses_the_admission_queue(self):
+        """Speculative jobs are engine work: they must not consume
+        max_pending slots, bump admitted/rejected counters, or stall the
+        triggering request under the block policy."""
+        engine = CompileEngine(
+            workers=1,
+            executor="inline",
+            max_pending=1,
+            overflow="block",
+            prewarm=True,
+            prewarm_resolutions=((40, 30), (48, 36)),
+        )
+        try:
+            result = engine.submit(_target(0), client="a")
+            assert result.ok
+            assert engine.wait_prewarm(timeout=30)
+            stats = engine.admission_stats()
+            assert stats["admitted_total"] == 1  # just the client's own job
+            assert stats["rejected_total"] == 0
+            assert stats["blocked_total"] == 0
+        finally:
+            engine.shutdown()
+
+    def test_submit_async_block_policy_keeps_the_event_loop_alive(self, slow_solver):
+        """With overflow='block' and a full queue, awaiting submit_async must
+        not freeze the loop: another coroutine has to keep running (it is
+        what releases the solver here)."""
+        engine = CompileEngine(workers=1, executor="thread", max_pending=1, overflow="block")
+        filler_results: list = []
+
+        async def scenario():
+            loop_alive = asyncio.Event()
+
+            async def canary():
+                await asyncio.sleep(0.3)
+                loop_alive.set()
+                slow_solver.set()  # only a live loop can unblock the queue
+
+            result, _ = await asyncio.gather(
+                engine.submit_async(_target(2), client="async"), canary()
+            )
+            return loop_alive.is_set(), result
+
+        try:
+            filler = [
+                _submit_in_thread(engine, _target(i), "filler", filler_results)
+                for i in range(2)  # 1 dispatched + 1 queued = full
+            ]
+            assert _wait_for(lambda: engine.admission_stats()["queue_depth"] == 1)
+            alive, result = asyncio.run(asyncio.wait_for(scenario(), timeout=30))
+            assert alive and result.ok
+            for thread in filler:
+                thread.join(timeout=30)
+        finally:
+            slow_solver.set()
+            engine.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Autoscaling executor
+# ---------------------------------------------------------------------------
+def _blocking_job(gate: threading.Event):
+    def run_local(target, fingerprint):
+        gate.wait(30)
+        return fingerprint
+
+    return run_local
+
+
+class TestAutoscalingExecutor:
+    def test_fleet_grows_with_demand_but_never_exceeds_max(self):
+        gate = threading.Event()
+        backend = AutoscalingExecutor(2, mode="thread")
+        try:
+            futures = [
+                backend.submit(_blocking_job(gate), None, f"job-{i}") for i in range(5)
+            ]
+            assert _wait_for(lambda: backend.stats()["busy_workers"] == 2)
+            stats = backend.stats()
+            assert stats["workers"] == 2  # ceiling respected
+            assert stats["max_workers"] == 2
+            assert stats["executor_queue_depth"] == 3
+            assert stats["scale_ups"] == 2
+            gate.set()
+            assert [f.result(timeout=30) for f in futures] == [
+                f"job-{i}" for i in range(5)
+            ]
+            assert backend.stats()["workers"] <= 2
+        finally:
+            gate.set()
+            backend.shutdown()
+
+    def test_idle_workers_retire_after_idle_seconds(self):
+        clock = FakeClock()
+        gate = threading.Event()
+        gate.set()
+        backend = AutoscalingExecutor(3, mode="thread", idle_seconds=10.0, clock=clock)
+        try:
+            block = threading.Event()
+            futures = [backend.submit(_blocking_job(block), None, str(i)) for i in range(3)]
+            assert _wait_for(lambda: backend.stats()["workers"] == 3)
+            block.set()
+            for future in futures:
+                future.result(timeout=30)
+            assert _wait_for(lambda: backend.stats()["busy_workers"] == 0)
+            assert backend.reap() == 0  # not idle long enough yet
+            clock.advance(10.5)
+            assert backend.reap() == 3
+            stats = backend.stats()
+            assert stats["workers"] == 0
+            assert stats["scale_downs"] == 3
+            assert any(e["action"] == "shrink" for e in stats["scaling_events"])
+        finally:
+            backend.shutdown()
+
+    def test_steady_trickle_reuses_the_hot_worker_and_sheds_the_cold_one(self):
+        """LIFO reuse regression: a light trickle must keep hitting the same
+        (most recently idled) worker so the other one ages out — FIFO reuse
+        would refresh both idle stamps forever and the fleet would never
+        scale down."""
+        clock = FakeClock()
+        backend = AutoscalingExecutor(2, mode="thread", idle_seconds=10.0, clock=clock)
+        try:
+            burst = threading.Event()
+            futures = [backend.submit(_blocking_job(burst), None, str(i)) for i in range(2)]
+            assert _wait_for(lambda: backend.stats()["workers"] == 2)
+            burst.set()
+            for future in futures:
+                future.result(timeout=30)
+            assert _wait_for(lambda: backend.stats()["busy_workers"] == 0)
+            done = threading.Event()
+            done.set()
+            # One quick job every 3 fake seconds: 5 * 3 = 15s > idle_seconds,
+            # but each job re-idles *some* worker within 3s of the last.
+            for _ in range(5):
+                clock.advance(3.0)
+                backend.submit(_blocking_job(done), None, "tick").result(timeout=30)
+                assert _wait_for(lambda: backend.stats()["busy_workers"] == 0)
+            clock.advance(3.0)
+            backend.reap()
+            stats = backend.stats()
+            assert stats["workers"] == 1, (
+                f"cold worker never retired under a steady trickle: {stats}"
+            )
+            assert stats["scale_downs"] >= 1
+        finally:
+            backend.shutdown()
+
+    def test_min_workers_floor_survives_reaping(self):
+        clock = FakeClock()
+        backend = AutoscalingExecutor(3, mode="thread", min_workers=1, idle_seconds=5.0, clock=clock)
+        try:
+            block = threading.Event()
+            futures = [backend.submit(_blocking_job(block), None, str(i)) for i in range(3)]
+            assert _wait_for(lambda: backend.stats()["workers"] == 3)
+            block.set()
+            for future in futures:
+                future.result(timeout=30)
+            assert _wait_for(lambda: backend.stats()["busy_workers"] == 0)
+            clock.advance(60.0)
+            backend.reap()
+            assert backend.stats()["workers"] == 1
+        finally:
+            backend.shutdown()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            AutoscalingExecutor(2, mode="inline")
+        with pytest.raises(ValueError, match="min_workers"):
+            AutoscalingExecutor(2, mode="thread", min_workers=3)
+        with pytest.raises(ValueError, match="idle_seconds"):
+            AutoscalingExecutor(2, mode="thread", idle_seconds=0)
+
+    def test_engine_compiles_through_thread_auto(self):
+        engine = CompileEngine(workers=2, executor="thread:auto")
+        try:
+            assert engine.executor_name == "thread:auto"
+            batch = engine.submit_batch([_target(i) for i in range(4)])
+            assert all(result.ok for result in batch.results)
+            stats = engine.executor_stats()
+            assert 1 <= stats["workers"] <= 2
+            assert stats["scale_ups"] >= 1
+            # Warm repeat: answered from cache, no extra scaling.
+            assert engine.submit(_target(0)).source == "memory"
+        finally:
+            engine.shutdown()
+
+    def test_admission_and_autoscaler_compose(self, slow_solver):
+        """max_pending bounds the wait queue while the auto fleet absorbs
+        width-many dispatches."""
+        engine = CompileEngine(workers=2, executor="thread:auto", max_pending=2)
+        outcomes: list = []
+        try:
+            threads = [
+                _submit_in_thread(engine, _target(i), "a", outcomes) for i in range(4)
+            ]
+            assert _wait_for(
+                lambda: engine.admission_stats()["queue_depth"] == 2
+                and engine.executor_stats()["workers"] == 2
+            )
+            with pytest.raises(QueueFullError):
+                engine.submit(_target(9), client="a")
+            slow_solver.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert all(getattr(result, "ok", False) for result in outcomes)
+            assert engine.executor_stats()["workers"] <= 2
+        finally:
+            slow_solver.set()
+            engine.shutdown()

@@ -2,19 +2,25 @@
 
 import json
 import http.client
+import threading
+import time
 
 import pytest
 
+import repro.service.engine as engine_module
 from repro.algorithms import build_algorithm
 from repro.api import CompileTarget
 from repro.estimate.report import accelerator_report
 from repro.service import (
     CompileEngine,
+    RateLimiter,
     ServiceClient,
     ServiceError,
+    TokenAuthenticator,
     start_server,
     target_to_wire,
 )
+from repro.service.admission import TokenRecord
 
 from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain
 
@@ -230,6 +236,19 @@ class TestOperationalEndpoints:
         finally:
             connection.close()
 
+    def test_metrics_expose_admission_and_executor_schema(self, service):
+        """Acceptance: /v1/metrics always carries rejected_total, queue_depth
+        and the live worker count, even with admission control off."""
+        client, engine, _ = service
+        metrics = client.metrics()
+        assert metrics["rejected_total"] == 0
+        assert metrics["queue_depth"] == 0
+        assert metrics["throttled_total"] == 0
+        assert metrics["workers"] == engine.workers
+        assert metrics["max_workers"] == engine.workers
+        assert metrics["auth"] == "anonymous"
+        assert metrics["max_pending"] is None
+
     def test_internal_errors_become_500_json(self, service, monkeypatch):
         """An unexpected exception in a route is a JSON 500, not a reset."""
         _, engine, server = service
@@ -260,3 +279,211 @@ class TestOperationalEndpoints:
         )
         assert status == 400
         assert "error" in body
+
+
+# ---------------------------------------------------------------------------
+# Admission control over HTTP: auth, rate limits, queue-full semantics
+# ---------------------------------------------------------------------------
+class _Clock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def secured_service():
+    """A server with token auth and a fake-clock rate limiter (2 rps, burst 2)."""
+    clock = _Clock()
+    authenticator = TokenAuthenticator(
+        [
+            TokenRecord("alice", "alice-secret"),
+            TokenRecord("bob", "bob-secret"),
+            TokenRecord("carol", "carol-secret", expires_epoch=500.0),
+        ],
+        clock=clock,
+    )
+    limiter = RateLimiter(rate=2.0, burst=2.0, clock=clock)
+    engine = CompileEngine(workers=1, executor="thread", max_pending=2)
+    server = start_server(engine, authenticator=authenticator, rate_limiter=limiter)
+    yield server, engine, clock
+    server.stop()
+    engine.shutdown()
+
+
+def _client(server, token):
+    return ServiceClient(port=server.port, token=token)
+
+
+class TestAuthOverHTTP:
+    def test_valid_token_compiles(self, secured_service):
+        server, engine, _ = secured_service
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        result = _client(server, "alice-secret").compile(target)
+        assert result["ok"] is True
+        assert engine.metrics.summary()["requests"] == 1
+
+    def test_missing_garbage_and_expired_tokens_are_401(self, secured_service):
+        server, _, _ = secured_service
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        for token in (None, "garbage", "carol-secret"):
+            with pytest.raises(ServiceError) as info:
+                _client(server, token).compile(target)
+            assert info.value.status == 401
+            assert "token" in info.value.body["error"]
+
+    def test_401_carries_www_authenticate(self, secured_service):
+        server, _, _ = secured_service
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            connection.request("GET", "/v1/metrics")
+            response = connection.getresponse()
+            assert response.status == 401
+            assert "Bearer" in response.getheader("WWW-Authenticate", "")
+        finally:
+            connection.close()
+
+    def test_healthz_stays_unauthenticated(self, secured_service):
+        server, _, _ = secured_service
+        assert ServiceClient(port=server.port).health() == {"status": "ok"}
+
+    def test_metrics_require_auth_and_report_token_mode(self, secured_service):
+        server, _, _ = secured_service
+        metrics = _client(server, "bob-secret").metrics()
+        assert metrics["auth"] == "token"
+        assert metrics["rate_limit"]["burst"] == 2.0
+
+
+class TestRateLimitOverHTTP:
+    def test_burst_then_429_then_refill(self, secured_service):
+        server, _, clock = secured_service
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        client = _client(server, "alice-secret")
+        client.compile(target)
+        client.compile(target)  # burst of 2 exhausted
+        with pytest.raises(ServiceError) as info:
+            client.compile(target)
+        error = info.value
+        assert error.status == 429
+        assert error.body["reason"] == "rate-limited"
+        assert error.retry_after is not None and error.retry_after >= 1
+        clock.advance(1.0)  # 2 rps -> 2 tokens back
+        assert client.compile(target)["ok"] is True
+
+    def test_429_is_never_charged_to_other_identity(self, secured_service):
+        server, _, _ = secured_service
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        alice = _client(server, "alice-secret")
+        alice.compile(target)
+        alice.compile(target)
+        with pytest.raises(ServiceError):
+            alice.compile(target)
+        # bob's bucket is untouched by alice's throttling.
+        assert _client(server, "bob-secret").compile(target)["ok"] is True
+
+    def test_batch_charges_one_token_per_target(self, secured_service):
+        server, _, _ = secured_service
+        target = CompileTarget(build_chain(3), image_width=W, image_height=H)
+        client = _client(server, "alice-secret")
+        # burst 2, batch of 3: admitted on the full bucket (overdraft) ...
+        first = client.compile_batch([target, target, target])
+        assert [r["ok"] for r in first["results"]] == [True, True, True]
+        # ... and the overdraft throttles what follows.
+        with pytest.raises(ServiceError) as info:
+            client.compile(target)
+        assert info.value.status == 429
+        assert info.value.body["reason"] == "rate-limited"
+
+
+class TestQueueFullOverHTTP:
+    def test_saturated_engine_returns_429_while_inflight_completes(
+        self, monkeypatch
+    ):
+        """Acceptance: a saturated engine (max_pending=2, slow solves) sheds
+        excess submits with 429/queue-full + Retry-After; admitted work
+        completes once the solver unblocks, and /v1/metrics shows the shed.
+
+        No rate limiter here: this test saturates the *queue*, and a token
+        bucket in front would throttle the flood before it ever got there.
+        """
+        authenticator = TokenAuthenticator(
+            [TokenRecord("alice", "alice-secret"), TokenRecord("bob", "bob-secret")]
+        )
+        engine = CompileEngine(workers=1, executor="thread", max_pending=2)
+        server = start_server(engine, authenticator=authenticator)
+        gate = threading.Event()
+        real = engine_module.compile_pipeline
+
+        def gated(target, cache=None):
+            if not gate.wait(timeout=30):
+                raise TimeoutError("gate never opened")
+            return real(target, cache=cache)
+
+        monkeypatch.setattr(engine_module, "compile_pipeline", gated)
+        targets = [
+            CompileTarget(build_chain(3), image_width=W + 2 * i, image_height=H)
+            for i in range(4)
+        ]
+        outcomes = []
+
+        def post(token, target):
+            try:
+                outcomes.append(ServiceClient(port=server.port, token=token, timeout=60).compile(target))
+            except ServiceError as exc:
+                outcomes.append(exc)
+
+        threads = [
+            threading.Thread(target=post, args=("alice-secret", target))
+            for target in targets[:3]  # 1 in flight + 2 queued
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if engine.admission_stats()["queue_depth"] == 2:
+                    break
+                time.sleep(0.01)
+            assert engine.admission_stats()["queue_depth"] == 2
+            with pytest.raises(ServiceError) as info:
+                _client(server, "bob-secret").compile(targets[3])
+            error = info.value
+            assert error.status == 429
+            assert error.body["reason"] == "queue-full"
+            assert error.retry_after is not None and error.retry_after >= 1
+            metrics = _client(server, "bob-secret").metrics()
+            assert metrics["rejected_total"] == 1
+            assert metrics["queue_depth"] == 2
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert all(isinstance(o, dict) and o["ok"] for o in outcomes)
+            assert _client(server, "bob-secret").metrics()["queue_depth"] == 0
+        finally:
+            gate.set()
+            server.stop()
+            engine.shutdown()
+
+
+class TestServiceClientTypedErrors:
+    def test_non_2xx_carries_status_and_body(self, service):
+        client, _, server = service
+        with pytest.raises(ServiceError) as info:
+            ServiceClient(port=server.port)._request("GET", "/v1/nope")
+        error = info.value
+        assert error.status == 404
+        assert "Unknown path" in error.body["error"]
+        assert error.retry_after is None
+
+    def test_transport_failures_are_typed_too(self, service):
+        client, _, server = service
+        port = server.port
+        server.stop()  # connection refused from here on
+        with pytest.raises(ServiceError) as info:
+            ServiceClient(port=port, timeout=2).health()
+        assert info.value.status is None
+        assert info.value.body == {}

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Docs health check: internal links resolve, runnable snippets run.
+
+CI's docs job (and ``tests/unit/test_docs.py``, so the check also runs in
+tier-1) executes this over ``README.md`` and everything under ``docs/``:
+
+* every relative markdown link ``[text](path)`` must point at an existing
+  file (absolute URLs and ``mailto:`` are skipped), and a ``path#anchor``
+  into a markdown file must name a real heading (GitHub slug rules:
+  lowercase, spaces to dashes, punctuation dropped);
+* every fenced code block whose info string is ``python runnable`` is
+  executed in a fresh namespace — snippets are tests, not illustrations.
+  Blocks tagged plain ``python`` are only required to *compile*, which
+  catches pasted-in syntax errors without demanding every example be
+  self-contained.
+
+Exit status is non-zero on any failure, with one line per problem.
+
+Run:  PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — deliberately simple; our docs don't nest brackets.
+_LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```(.*)$")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+
+#: Link targets that are never checked against the filesystem.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, punctuation dropped."""
+    # Strip inline code/emphasis markers first so `#foo-bar` matches "`foo` bar".
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _strip_fenced_blocks(text: str) -> str:
+    """Remove fenced code blocks so code samples can't fake links/headings."""
+    kept: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append(line)
+    return "\n".join(kept)
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    for line in _strip_fenced_blocks(path.read_text(encoding="utf-8")).splitlines():
+        match = _HEADING_RE.match(line)
+        if match:
+            slugs.add(github_slug(match.group(2)))
+    return slugs
+
+
+def check_links(path: Path) -> list[str]:
+    problems: list[str] = []
+    text = _strip_fenced_blocks(path.read_text(encoding="utf-8"))
+    for target in _LINK_RE.findall(text):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        raw, _, anchor = target.partition("#")
+        destination = path if not raw else (path.parent / raw).resolve()
+        if not destination.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+            continue
+        if anchor and destination.suffix == ".md":
+            if anchor not in heading_slugs(destination):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def code_blocks(path: Path) -> list[tuple[str, str, int]]:
+    """``(info_string, source, first_line)`` for every fenced block."""
+    blocks: list[tuple[str, str, int]] = []
+    info: str | None = None
+    buffer: list[str] = []
+    start = 0
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        fence = _FENCE_RE.match(line.strip())
+        if fence and info is None:
+            info = fence.group(1).strip().lower()
+            buffer = []
+            start = lineno
+        elif fence:
+            blocks.append((info, "\n".join(buffer), start))
+            info = None
+        elif info is not None:
+            buffer.append(line)
+    return blocks
+
+
+def check_snippets(path: Path) -> list[str]:
+    problems: list[str] = []
+    for info, source, lineno in code_blocks(path):
+        if not info.startswith("python"):
+            continue
+        where = f"{path.relative_to(REPO_ROOT)}:{lineno}"
+        try:
+            compiled = compile(source, where, "exec")
+        except SyntaxError as exc:
+            problems.append(f"{where}: python block does not parse: {exc}")
+            continue
+        if "runnable" not in info.split():
+            continue
+        namespace: dict = {"__name__": f"docs_snippet_{path.stem}_{lineno}"}
+        try:
+            exec(compiled, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+            problems.append(
+                f"{where}: runnable snippet failed: {type(exc).__name__}: {exc}"
+            )
+    return problems
+
+
+def run_checks() -> list[str]:
+    problems: list[str] = []
+    for path in doc_files():
+        problems.extend(check_links(path))
+        problems.extend(check_snippets(path))
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    problems = run_checks()
+    runnable = sum(
+        1
+        for path in files
+        for info, _, _ in code_blocks(path)
+        if info.startswith("python") and "runnable" in info.split()
+    )
+    for problem in problems:
+        print(f"FAIL {problem}")
+    print(
+        f"checked {len(files)} docs: links + {runnable} runnable snippets -> "
+        f"{'OK' if not problems else f'{len(problems)} problem(s)'}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
