@@ -67,6 +67,17 @@ def main() -> None:
             assert stats["hits"] >= 1 and stats["disk_entries"] >= 1
             print(f"  metrics: {metrics}")
             print(f"  cache:   {stats}")
+
+            # The observability surface: per-request span trees and the
+            # Prometheus rendering of the same counters printed above.
+            traced = client.compile(target, trace=True)
+            span_names = [span["name"] for span in traced["spans"]]
+            assert "cache" in span_names, span_names
+            exposition = client.metrics_prometheus()
+            assert "# TYPE repro_stage_seconds histogram" in exposition
+            assert 'repro_stage_seconds_count{stage="solve"}' in exposition
+            print(f"  trace:   {span_names}")
+            print(f"  prometheus: {len(exposition.splitlines())} lines")
             print("http smoke ok")
         finally:
             server.stop()

@@ -28,6 +28,7 @@ from repro.core.schedule import PipelineSchedule
 from repro.core.scheduler import SchedulerOptions, schedule_pipeline
 from repro.ir.dag import PipelineDAG
 from repro.memory.spec import MemorySpec
+from repro.trace import trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.api.target import CompileTarget
@@ -133,7 +134,8 @@ def _compile_imagen(target: CompileTarget, cache: Any | None) -> CompiledAcceler
         # writer-separation constraints; like any compiler optimization it is
         # only kept when it actually reduces the allocated on-chip memory.
         plain_target = target.with_options(coalescing=False)
-        plain, plain_source, plain_fingerprint = _schedule_cached(plain_target, cache)
+        with trace_span("coalescing_fallback"):
+            plain, plain_source, plain_fingerprint = _schedule_cached(plain_target, cache)
         sources.append(plain_source)
         fingerprints.append(plain_fingerprint)
         if plain.total_allocated_bits < schedule.total_allocated_bits or (

@@ -45,6 +45,7 @@ from repro.memory.allocator import (
     dff_realization_threshold,
 )
 from repro.memory.spec import MemorySpec
+from repro.trace import span_attr, trace_span
 
 
 @dataclass
@@ -101,37 +102,47 @@ def schedule_pipeline(
         raise SchedulingError("Memory ports must be >= 1")
 
     started = time.perf_counter()
-    factors = _effective_factors(dag, image_width, memory_spec, options)
-    order = partial_order(dag)
+    with trace_span(
+        "solve",
+        strategy=options.disjunction_strategy,
+        coalescing=bool(options.coalescing),
+    ):
+        factors = _effective_factors(dag, image_width, memory_spec, options)
+        order = partial_order(dag)
 
-    dependencies = data_dependency_constraints(dag, image_width)
-    dependencies.extend(coalescing_safety_constraints(dag, image_width, factors))
-    disjunctions = contention_disjunctions(
-        dag, image_width, ports, coalesce_factors=factors, order=order
-    )
-    raw_candidate_count = sum(len(d.candidates) for d in disjunctions)
-    if options.pruning:
-        disjunctions = prune_disjunctions(disjunctions, dag, order)
-    pruned_candidate_count = sum(len(d.candidates) for d in disjunctions)
+        dependencies = data_dependency_constraints(dag, image_width)
+        dependencies.extend(coalescing_safety_constraints(dag, image_width, factors))
+        disjunctions = contention_disjunctions(
+            dag, image_width, ports, coalesce_factors=factors, order=order
+        )
+        raw_candidate_count = sum(len(d.candidates) for d in disjunctions)
+        if options.pruning:
+            disjunctions = prune_disjunctions(disjunctions, dag, order)
+        pruned_candidate_count = sum(len(d.candidates) for d in disjunctions)
 
-    for disjunction in disjunctions:
-        if disjunction.is_empty:
-            raise SchedulingError(
-                f"Line buffer of {disjunction.buffer!r} cannot satisfy the port limit "
-                f"({ports} ports) for accessors {disjunction.combination}"
+        for disjunction in disjunctions:
+            if disjunction.is_empty:
+                raise SchedulingError(
+                    f"Line buffer of {disjunction.buffer!r} cannot satisfy the port limit "
+                    f"({ports} ports) for accessors {disjunction.combination}"
+                )
+
+        horizon = schedule_horizon(dag, image_width)
+        if options.disjunction_strategy == "enumerate":
+            start_cycles, objective, solver_stats = _solve_by_enumeration(
+                dag, image_width, dependencies, disjunctions, horizon, options
             )
-
-    horizon = schedule_horizon(dag, image_width)
-    if options.disjunction_strategy == "enumerate":
-        start_cycles, objective, solver_stats = _solve_by_enumeration(
-            dag, image_width, dependencies, disjunctions, horizon, options
+        elif options.disjunction_strategy == "bigm":
+            start_cycles, objective, solver_stats = _solve_big_m(
+                dag, image_width, dependencies, disjunctions, horizon, options
+            )
+        else:
+            raise SchedulingError(f"Unknown disjunction strategy {options.disjunction_strategy!r}")
+        span_attr(
+            objective=float(objective),
+            solves=int(solver_stats.get("solves", 1)),
+            disjunctions=len(disjunctions),
         )
-    elif options.disjunction_strategy == "bigm":
-        start_cycles, objective, solver_stats = _solve_big_m(
-            dag, image_width, dependencies, disjunctions, horizon, options
-        )
-    else:
-        raise SchedulingError(f"Unknown disjunction strategy {options.disjunction_strategy!r}")
 
     elapsed = time.perf_counter() - started
     solver_stats.update(
@@ -377,38 +388,40 @@ def realize_line_buffers(
     (:mod:`repro.service.cache`) relies on to round-trip designs.
     """
     line_buffers = {}
-    for producer in dag.stage_names():
-        edges = dag.out_edges(producer)
-        if not edges:
-            continue
-        delays = [
-            (start_cycles[e.consumer] - start_cycles[producer], e.window.height) for e in edges
-        ]
-        if min(delay for delay, _ in delays) <= 0:
-            raise SchedulingError(
-                f"Non-positive producer->consumer delay for {producer!r}; schedule is invalid"
+    with trace_span("allocate"):
+        for producer in dag.stage_names():
+            edges = dag.out_edges(producer)
+            if not edges:
+                continue
+            delays = [
+                (start_cycles[e.consumer] - start_cycles[producer], e.window.height) for e in edges
+            ]
+            if min(delay for delay, _ in delays) <= 0:
+                raise SchedulingError(
+                    f"Non-positive producer->consumer delay for {producer!r}; schedule is invalid"
+                )
+            reader_heights = {edge.consumer: edge.window.height for edge in edges}
+            max_delay = max(delay for delay, _ in delays)
+            if max_delay <= dff_realization_threshold(image_width):
+                line_buffers[producer] = allocate_register_buffer(
+                    producer, image_width, max_delay, memory_spec, reader_heights=reader_heights
+                )
+                continue
+            factor = max(1, factors.get(producer, 1))
+            lines = access.minimal_slot_count(
+                image_width, ports, delays, coalesce_factor=factor
             )
-        reader_heights = {edge.consumer: edge.window.height for edge in edges}
-        max_delay = max(delay for delay, _ in delays)
-        if max_delay <= dff_realization_threshold(image_width):
-            line_buffers[producer] = allocate_register_buffer(
-                producer, image_width, max_delay, memory_spec, reader_heights=reader_heights
+            factor = min(factor, lines)
+            if factor > 1 and lines % factor:
+                # Keep the line->block grouping stable as the buffer wraps around.
+                lines += factor - (lines % factor)
+            line_buffers[producer] = allocate_line_buffer(
+                producer,
+                image_width,
+                lines,
+                memory_spec,
+                coalesce_factor=factor,
+                reader_heights=reader_heights,
             )
-            continue
-        factor = max(1, factors.get(producer, 1))
-        lines = access.minimal_slot_count(
-            image_width, ports, delays, coalesce_factor=factor
-        )
-        factor = min(factor, lines)
-        if factor > 1 and lines % factor:
-            # Keep the line->block grouping stable as the buffer wraps around.
-            lines += factor - (lines % factor)
-        line_buffers[producer] = allocate_line_buffer(
-            producer,
-            image_width,
-            lines,
-            memory_spec,
-            coalesce_factor=factor,
-            reader_heights=reader_heights,
-        )
+        span_attr(buffers=len(line_buffers))
     return line_buffers

@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import SolverError
 from repro.ilp.model import Model, SolveResult, SolveStatus
 from repro.ilp.simplex import solve_lp
+from repro.trace import span_attr
 
 _INT_TOL = 1e-6
 
@@ -150,6 +151,10 @@ def solve_branch_and_bound(model: Model, max_nodes: int = 200000, time_limit: fl
         up.lb[branch_var] = max(up.lb[branch_var], floor_value + 1)
         if up.lb[branch_var] <= up.ub[branch_var]:
             heapq.heappush(heap, up)
+
+    # Reported onto the enclosing "ilp" span (no-op outside a trace): node
+    # count is the cost driver of this backend, alongside LP iterations.
+    span_attr(bnb_nodes=explored)
 
     if best_x is None:
         if saw_unbounded_root:

@@ -13,6 +13,7 @@ from repro.errors import InfeasibleError, SolverError, UnboundedError
 from repro.ilp import highs
 from repro.ilp.branch_and_bound import solve_branch_and_bound
 from repro.ilp.model import Model, SolveResult, SolveStatus
+from repro.trace import span_attr, trace_span
 
 
 def available_backends() -> list[str]:
@@ -33,12 +34,14 @@ def solve(model: Model, backend: str = "auto", *, raise_on_failure: bool = False
     if backend == "auto":
         backend = "highs" if highs.is_available() else "python"
 
-    if backend == "highs":
-        result = highs.solve_highs(model)
-    elif backend == "python":
-        result = solve_branch_and_bound(model)
-    else:
-        raise SolverError(f"Unknown ILP backend {backend!r}")
+    with trace_span("ilp", backend=backend):
+        if backend == "highs":
+            result = highs.solve_highs(model)
+        elif backend == "python":
+            result = solve_branch_and_bound(model)
+        else:
+            raise SolverError(f"Unknown ILP backend {backend!r}")
+        span_attr(status=result.status.value, lp_iterations=result.iterations)
 
     if raise_on_failure:
         if result.status is SolveStatus.INFEASIBLE:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.core.schedule import PipelineSchedule
 from repro.rtl import modules
 from repro.rtl.expressions import sanitize
+from repro.trace import span_attr, trace_span
 
 
 @dataclass
@@ -45,30 +46,32 @@ def generate_design(schedule: PipelineSchedule) -> VerilogDesign:
     """Emit Verilog and return it with its module inventory."""
     dag = schedule.dag
     pixel_bits = schedule.memory_spec.pixel_bits
-    chunks: list[str] = [modules.emit_header(schedule)]
-    module_names: list[str] = []
+    with trace_span("rtl"):
+        chunks: list[str] = [modules.emit_header(schedule)]
+        module_names: list[str] = []
 
-    chunks.append(modules.emit_sram_model(schedule.memory_spec.ports))
-    module_names.append("imagen_sram")
+        chunks.append(modules.emit_sram_model(schedule.memory_spec.ports))
+        module_names.append("imagen_sram")
 
-    for producer, config in schedule.line_buffers.items():
-        readers = dag.out_edges(producer)
-        chunks.append(modules.emit_line_buffer(config, readers))
-        module_names.append(modules.line_buffer_module_name(producer))
+        for producer, config in schedule.line_buffers.items():
+            readers = dag.out_edges(producer)
+            chunks.append(modules.emit_line_buffer(config, readers))
+            module_names.append(modules.line_buffer_module_name(producer))
 
-    for edge in dag.edges():
-        chunks.append(modules.emit_window(edge, pixel_bits))
-        module_names.append(modules.window_module_name(edge.producer, edge.consumer))
+        for edge in dag.edges():
+            chunks.append(modules.emit_window(edge, pixel_bits))
+            module_names.append(modules.window_module_name(edge.producer, edge.consumer))
 
-    for stage in dag.stages():
-        if stage.is_input:
-            continue
-        chunks.append(modules.emit_stage(stage, dag.in_edges(stage.name), pixel_bits))
-        module_names.append(modules.stage_module_name(stage.name))
+        for stage in dag.stages():
+            if stage.is_input:
+                continue
+            chunks.append(modules.emit_stage(stage, dag.in_edges(stage.name), pixel_bits))
+            module_names.append(modules.stage_module_name(stage.name))
 
-    top_name = f"accelerator_{sanitize(dag.name)}"
-    chunks.append(_emit_top(schedule, top_name, pixel_bits))
-    module_names.append(top_name)
+        top_name = f"accelerator_{sanitize(dag.name)}"
+        chunks.append(_emit_top(schedule, top_name, pixel_bits))
+        module_names.append(top_name)
+        span_attr(modules=len(module_names))
 
     return VerilogDesign(top_module=top_name, source="\n".join(chunks), module_names=module_names)
 

@@ -16,7 +16,12 @@ unified :class:`repro.api.CompileTarget` request object:
   (``inline``/``thread``/``process`` plus the autoscaling
   ``thread:auto``/``process:auto``), selected via
   ``CompileEngine(executor=...)`` or ``REPRO_EXECUTOR``;
-* :mod:`repro.service.metrics` — per-request latency and hit-rate metrics;
+* :mod:`repro.service.metrics` — per-request latency/hit-rate metrics and
+  the per-stage span histograms;
+* :mod:`repro.service.observability` — the span tracer (re-exported from
+  :mod:`repro.trace`), the :class:`MetricSpec` registry declaring every
+  exposed metric key, and the Prometheus text-exposition renderer behind
+  ``GET /v1/metrics?format=prometheus``;
 * :mod:`repro.service.admission` — admission control: bearer-token
   authentication, per-identity token-bucket rate limiting, and the bounded
   fair submission queue behind ``CompileEngine(max_pending=...)``;
@@ -107,7 +112,19 @@ from repro.service.jobs import (
     CompileResult,
     CompileStatus,
 )
-from repro.service.metrics import EngineMetrics, RequestTrace
+from repro.service.metrics import EngineMetrics, RequestTrace, StageHistogram
+from repro.service.observability import (
+    METRIC_SPECS,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricSpec,
+    Span,
+    collect_spans,
+    metric_spec,
+    registered_keys,
+    render_prometheus,
+    span_attr,
+    trace_span,
+)
 from repro.service.wire import (
     WIRE_FORMAT_VERSION,
     WireFormatError,
@@ -145,7 +162,10 @@ __all__ = [
     "FINGERPRINT_VERSION",
     "InlineExecutor",
     "MAX_PENDING_ENV_VAR",
+    "METRIC_SPECS",
+    "MetricSpec",
     "PREWARM_RESOLUTIONS",
+    "PROMETHEUS_CONTENT_TYPE",
     "ProcessExecutor",
     "QueueFullError",
     "RateDecision",
@@ -153,6 +173,8 @@ __all__ = [
     "RequestTrace",
     "ServiceClient",
     "ServiceError",
+    "Span",
+    "StageHistogram",
     "ThreadExecutor",
     "TokenAuthenticator",
     "TokenRecord",
@@ -162,6 +184,7 @@ __all__ = [
     "accelerator_from_wire",
     "accelerator_to_wire",
     "batch_result_to_wire",
+    "collect_spans",
     "compile_fingerprint",
     "dag_fingerprint",
     "default_executor_name",
@@ -169,15 +192,20 @@ __all__ = [
     "deserialize_schedule",
     "full_result_from_wire",
     "full_result_to_wire",
+    "metric_spec",
     "parse_rate_limit",
     "parse_token_line",
+    "registered_keys",
+    "render_prometheus",
     "result_to_wire",
+    "span_attr",
     "schedule_from_wire",
     "schedule_to_wire",
     "serialize_schedule",
     "start_server",
     "target_from_wire",
     "target_to_wire",
+    "trace_span",
     "validate_max_pending",
     "validate_worker_count",
 ]

@@ -49,6 +49,7 @@ from repro.core.scheduler import realize_line_buffers
 from repro.ir.dag import PipelineDAG
 from repro.memory.linebuffer import LineBufferConfig
 from repro.memory.spec import MemorySpec
+from repro.trace import span_attr, trace_span
 
 #: Bump when the serialized payload layout changes; stale disk entries are
 #: treated as misses rather than errors.  Version 2 added the optional
@@ -233,23 +234,27 @@ class DiskCacheStore:
         return self.directory / f"{fingerprint}.json"
 
     def load(self, fingerprint: str) -> dict | None:
-        for path in (self.path_for(fingerprint), self.legacy_path_for(fingerprint)):
-            try:
-                with path.open("r", encoding="utf-8") as handle:
-                    payload = json.load(handle)
-            except FileNotFoundError:
-                continue
-            except (OSError, ValueError):
-                return None
-            if self.bounded:
-                # Refresh the mtime so the LRU-by-mtime GC sees hot entries
-                # as recently used, not as old as their write time.
+        with trace_span("disk_read"):
+            for path in (self.path_for(fingerprint), self.legacy_path_for(fingerprint)):
                 try:
-                    os.utime(path)
-                except OSError:
-                    pass  # a concurrent eviction won the race; the read stands
-            return payload
-        return None
+                    with path.open("r", encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                except FileNotFoundError:
+                    continue
+                except (OSError, ValueError):
+                    span_attr(hit=False)
+                    return None
+                if self.bounded:
+                    # Refresh the mtime so the LRU-by-mtime GC sees hot entries
+                    # as recently used, not as old as their write time.
+                    try:
+                        os.utime(path)
+                    except OSError:
+                        pass  # a concurrent eviction won the race; the read stands
+                span_attr(hit=True)
+                return payload
+            span_attr(hit=False)
+            return None
 
     def save(self, fingerprint: str, payload: dict) -> bool:
         """Persist one entry; returns ``False`` when the write failed.
@@ -261,29 +266,32 @@ class DiskCacheStore:
         """
         path = self.path_for(fingerprint)
         tmp: Path | None = None
-        try:
-            # Non-recursive mkdir: if the store's base directory disappeared,
-            # degrade to a failed write instead of silently recreating it.
-            path.parent.mkdir(exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=f"{fingerprint}.", suffix=".tmp", dir=path.parent
-            )
-            tmp = Path(tmp_name)
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            tmp.replace(path)
-        except OSError:
-            if tmp is not None:
-                tmp.unlink(missing_ok=True)
-            return False
-        try:
-            # The sharded entry now shadows any pre-sharding flat twin; drop
-            # the flat file so __len__/clear see one entry per fingerprint.
-            self.legacy_path_for(fingerprint).unlink(missing_ok=True)
-        except OSError:
-            pass  # the write itself succeeded; a stale twin is harmless
-        if self.bounded:
-            self._maybe_collect_garbage()
+        with trace_span("disk_write"):
+            try:
+                # Non-recursive mkdir: if the store's base directory disappeared,
+                # degrade to a failed write instead of silently recreating it.
+                path.parent.mkdir(exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    prefix=f"{fingerprint}.", suffix=".tmp", dir=path.parent
+                )
+                tmp = Path(tmp_name)
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                tmp.replace(path)
+            except OSError:
+                if tmp is not None:
+                    tmp.unlink(missing_ok=True)
+                span_attr(ok=False)
+                return False
+            try:
+                # The sharded entry now shadows any pre-sharding flat twin; drop
+                # the flat file so __len__/clear see one entry per fingerprint.
+                self.legacy_path_for(fingerprint).unlink(missing_ok=True)
+            except OSError:
+                pass  # the write itself succeeded; a stale twin is harmless
+            if self.bounded:
+                self._maybe_collect_garbage()
+            span_attr(ok=True)
         return True
 
     def _maybe_collect_garbage(self) -> None:
@@ -436,30 +444,34 @@ class CompileCache:
         :data:`SOURCE_SOLVER` (meaning: not cached, the caller must solve).
         """
         fingerprint = target.fingerprint  # memoized on the target
-        with self._lock:
-            schedule = self._entries.get(fingerprint)
-            if schedule is not None:
-                self._entries.move_to_end(fingerprint)
-                self.stats.hits += 1
-                return schedule, SOURCE_MEMORY, fingerprint
-        if self.store is not None:
-            payload = self.store.load(fingerprint)
-            if payload is not None:
-                try:
-                    schedule = deserialize_schedule(payload, target.dag)
-                except Exception:
-                    # Any malformed, stale, or version-skewed entry (bad spec
-                    # fields, missing stages, ...) degrades to a cache miss.
-                    schedule = None
+        with trace_span("cache"):
+            with self._lock:
+                schedule = self._entries.get(fingerprint)
                 if schedule is not None:
-                    with self._lock:
-                        self._insert(fingerprint, schedule)
-                        self.stats.hits += 1
-                        self.stats.disk_hits += 1
-                    return schedule, SOURCE_DISK, fingerprint
-        with self._lock:
-            self.stats.misses += 1
-        return None, SOURCE_SOLVER, fingerprint
+                    self._entries.move_to_end(fingerprint)
+                    self.stats.hits += 1
+                    span_attr(tier=SOURCE_MEMORY)
+                    return schedule, SOURCE_MEMORY, fingerprint
+            if self.store is not None:
+                payload = self.store.load(fingerprint)
+                if payload is not None:
+                    try:
+                        schedule = deserialize_schedule(payload, target.dag)
+                    except Exception:
+                        # Any malformed, stale, or version-skewed entry (bad spec
+                        # fields, missing stages, ...) degrades to a cache miss.
+                        schedule = None
+                    if schedule is not None:
+                        with self._lock:
+                            self._insert(fingerprint, schedule)
+                            self.stats.hits += 1
+                            self.stats.disk_hits += 1
+                        span_attr(tier=SOURCE_DISK)
+                        return schedule, SOURCE_DISK, fingerprint
+            with self._lock:
+                self.stats.misses += 1
+            span_attr(tier="miss")
+            return None, SOURCE_SOLVER, fingerprint
 
     # ----------------------------------------------------------------- writes
     def put(self, fingerprint: str, schedule: PipelineSchedule) -> None:

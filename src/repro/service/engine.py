@@ -108,6 +108,7 @@ from repro.service.jobs import (
     rejected_result,
 )
 from repro.service.metrics import EngineMetrics, RequestTrace
+from repro.trace import collect_spans, default_tracing
 
 #: Resolutions speculatively pre-warmed by ``CompileEngine(prewarm=True)``:
 #: the paper's two evaluation sizes (320p and 1080p).
@@ -175,6 +176,13 @@ class CompileEngine:
         raises :class:`repro.service.admission.QueueFullError` — the HTTP
         front maps it to 429 with ``Retry-After`` — while ``"block"`` makes
         the submitter wait for space.
+    tracing:
+        Whether in-process compiles record per-stage spans
+        (:mod:`repro.trace`) onto their results and into the engine's stage
+        histograms.  ``None`` (default) follows the ``REPRO_TRACE``
+        environment variable, which also governs process-pool workers (they
+        inherit the environment; an explicit ``tracing=`` here cannot reach
+        an already-spawned worker process).
     """
 
     def __init__(
@@ -189,6 +197,7 @@ class CompileEngine:
         prewarm_resolutions: Sequence[tuple[int, int]] = PREWARM_RESOLUTIONS,
         max_pending: int | None = None,
         overflow: str = "shed",
+        tracing: bool | None = None,
     ) -> None:
         if workers is not None:
             workers = validate_worker_count(workers)
@@ -207,6 +216,7 @@ class CompileEngine:
         )
         self.prewarm = prewarm
         self.prewarm_resolutions = tuple(prewarm_resolutions)
+        self.tracing = default_tracing() if tracing is None else bool(tracing)
         self.metrics = EngineMetrics()
         if max_pending is None:
             max_pending = default_max_pending()
@@ -752,6 +762,11 @@ class CompileEngine:
             outcome = future.result()
         if owner:
             result = outcome
+            # Stage histograms aggregate each executed job exactly once:
+            # dedup sharers keep the owner's spans on their result (useful
+            # for per-request tracing) but must not double-count them.
+            if result.spans:
+                self.metrics.observe_spans(result.spans)
         else:
             result = replace(
                 outcome, target=target, source=SOURCE_DEDUPLICATED, seconds=0.0
@@ -767,15 +782,18 @@ class CompileEngine:
         # Kept on the engine (rather than delegating to jobs.execute_target)
         # so the module-level compile_pipeline stays the single patch point
         # for instrumenting in-process solves.
+        trace = collect_spans(enabled=self.tracing)
         started = time.perf_counter()
         try:
-            accelerator = compile_pipeline(target, cache=self.cache)
+            with trace:
+                accelerator = compile_pipeline(target, cache=self.cache)
         except Exception as exc:  # one bad design point must not kill a batch
             return CompileResult(
                 target=target,
                 fingerprint=fingerprint,
                 error=f"{type(exc).__name__}: {exc}",
                 seconds=time.perf_counter() - started,
+                spans=trace.spans,
             )
         return CompileResult(
             target=target,
@@ -783,6 +801,7 @@ class CompileEngine:
             accelerator=accelerator,
             source=derive_source(accelerator),
             seconds=time.perf_counter() - started,
+            spans=trace.spans,
         )
 
     def _trace(self, result: CompileResult) -> RequestTrace:

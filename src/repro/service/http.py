@@ -23,9 +23,21 @@ Endpoints
   batch.
 * ``GET /v1/metrics`` — engine request counters plus executor scaling and
   admission counters (``rejected_total``, ``queue_depth``, live worker
-  count).
+  count).  ``?format=prometheus`` returns the same metrics — plus the
+  per-stage span histograms — as Prometheus text exposition 0.0.4
+  (:func:`repro.service.observability.render_prometheus`).
 * ``GET /v1/cache/stats`` — cache occupancy and hit/miss counters.
 * ``GET /healthz`` — liveness probe (never authenticated).
+
+``?trace=1`` on the compile endpoints adds a ``"spans"`` field to each
+result: the nested per-stage span tree (cache lookup, ILP solve, line-buffer
+allocation, RTL generation) recorded while that job ran — see
+``docs/observability.md``.
+
+Access logs default to the stdlib's plain lines; ``--access-log json``
+switches to one JSON object per request (identity, method, path, status,
+seconds, fingerprint) for log pipelines, and ``--access-log none`` (or the
+legacy ``--quiet``) silences them.
 
 Admission control
 -----------------
@@ -61,9 +73,12 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import sys
 import threading
+import time
 from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.api.target import CompileTarget
 from repro.errors import ReproError
@@ -77,6 +92,7 @@ from repro.service.admission import (
 from repro.service.cache import CompileCache, DiskCacheStore
 from repro.service.engine import CompileEngine
 from repro.service.executor import EXECUTOR_NAMES, validate_worker_count
+from repro.service.observability import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.service.wire import (
     WireFormatError,
     batch_result_to_wire,
@@ -91,6 +107,17 @@ MAX_REQUEST_BYTES = 8 * 1024 * 1024
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8080
+
+#: Access-log modes: the stdlib's plain lines, one JSON object per request,
+#: or silence.
+ACCESS_LOG_MODES = ("plain", "json", "none")
+
+
+def _query_flag(value: str | None) -> bool:
+    """Interpret a query-string toggle (``?trace=1``): absent/falsy = off."""
+    if value is None:
+        return False
+    return value.strip().lower() not in ("", "0", "false", "off", "no")
 
 
 class ServiceError(ReproError):
@@ -135,8 +162,18 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         return self.server.engine
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
-        if self.server.verbose:
+        if self.server.access_log == "plain":
             super().log_message(format, *args)
+
+    def _begin_request(self) -> tuple[str, dict]:
+        """Reset per-request state (the handler lives for a keep-alive
+        connection, not one request) and split the URL into path + query."""
+        self._started = time.perf_counter()
+        self._identity = ""
+        self._fingerprint = ""
+        parts = urlsplit(self.path)
+        query = {key: values[-1] for key, values in parse_qs(parts.query).items()}
+        return parts.path, query
 
     # -------------------------------------------------------------- admission
     def _identify(self) -> str | None:
@@ -149,7 +186,8 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         """
         authenticator = self.server.authenticator
         if authenticator is None:
-            return f"ip:{self.client_address[0]}"
+            self._identity = f"ip:{self.client_address[0]}"
+            return self._identity
         identity = authenticator.authenticate_header(self.headers.get("Authorization"))
         if identity is None:
             self._send(
@@ -158,6 +196,7 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
                 extra_headers={"WWW-Authenticate": 'Bearer realm="imagen-compile"'},
             )
             return None
+        self._identity = identity
         return identity
 
     def _throttle(self, identity: str, cost: int) -> bool:
@@ -186,25 +225,44 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
 
     # ----------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
-        if self.path == "/healthz":
+        path, query = self._begin_request()
+        if path == "/healthz":
             self._send(200, {"status": "ok"})  # liveness stays unauthenticated
             return
         if self._identify() is None:
             return
-        if self.path == "/v1/metrics":
-            self._send(200, self._metrics())
-        elif self.path == "/v1/cache/stats":
+        if path == "/v1/metrics":
+            exposition = query.get("format", "json")
+            if exposition == "prometheus":
+                self._send_text(
+                    200,
+                    render_prometheus(
+                        self._metrics(),
+                        self.engine.metrics.stage_histograms(),
+                        cache=self._cache_stats(),
+                    ),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
+            elif exposition == "json":
+                self._send(200, self._metrics())
+            else:
+                self._send(
+                    400,
+                    {"error": f"Unknown metrics format {exposition!r} (json, prometheus)"},
+                )
+        elif path == "/v1/cache/stats":
             self._send(200, self._cache_stats())
         else:
-            self._send(404, {"error": f"Unknown path {self.path!r}"})
+            self._send(404, {"error": f"Unknown path {path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
-        if self.path == "/v1/compile":
+        path, query = self._begin_request()
+        if path == "/v1/compile":
             route = self._compile_one
-        elif self.path == "/v1/batch":
+        elif path == "/v1/batch":
             route = self._compile_batch
         else:
-            self._send(404, {"error": f"Unknown path {self.path!r}"})
+            self._send(404, {"error": f"Unknown path {path!r}"})
             return
         identity = self._identify()
         if identity is None:
@@ -213,7 +271,7 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         if payload is None:
             return  # error response already sent
         try:
-            route(payload, identity)
+            route(payload, identity, include_spans=_query_flag(query.get("trace")))
         except WireFormatError as exc:
             self._send(400, {"error": str(exc)})
         except QueueFullError as exc:
@@ -225,7 +283,7 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
             # failure becomes a 500 body instead of an opaque dropped socket.
             self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
 
-    def _compile_one(self, payload, identity: str) -> None:
+    def _compile_one(self, payload, identity: str, *, include_spans: bool = False) -> None:
         # Accept the bare wire target, or {"target": {...}} for symmetry with
         # the batch endpoint.
         if isinstance(payload, dict) and "target" in payload:
@@ -233,9 +291,11 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         target = target_from_wire(payload)
         if not self._throttle(identity, cost=1):
             return
-        self._send(200, result_to_wire(self.engine.submit(target, client=identity)))
+        result = self.engine.submit(target, client=identity)
+        self._fingerprint = result.fingerprint
+        self._send(200, result_to_wire(result, include_spans=include_spans))
 
-    def _compile_batch(self, payload, identity: str) -> None:
+    def _compile_batch(self, payload, identity: str, *, include_spans: bool = False) -> None:
         if not isinstance(payload, dict) or not isinstance(payload.get("targets"), list):
             raise WireFormatError('Batch body must be {"targets": [...]}')
         # Rate limiting charges one token per design point, not per HTTP
@@ -253,7 +313,7 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         batch = self.engine.submit_batch(
             [t for t in decoded if t is not None], client=identity
         )
-        body = batch_result_to_wire(batch)
+        body = batch_result_to_wire(batch, include_spans=include_spans)
         # Splice per-item decode failures back into request order: a bad
         # item degrades to an error entry in its slot, not a 500.
         compiled = iter(body["results"])
@@ -321,9 +381,26 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
             return None
 
     def _send(self, status: int, payload: dict, *, extra_headers: dict | None = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(
+            status,
+            json.dumps(payload).encode("utf-8"),
+            content_type="application/json",
+            extra_headers=extra_headers,
+        )
+
+    def _send_text(self, status: int, text: str, *, content_type: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type=content_type)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        *,
+        content_type: str,
+        extra_headers: dict | None = None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
@@ -335,6 +412,25 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
+        if self.server.access_log == "json":
+            self._log_json(status, len(body))
+
+    def _log_json(self, status: int, body_bytes: int) -> None:
+        """One JSON line per answered request, on the stdlib's log stream."""
+        record = {
+            "ts": round(time.time(), 3),
+            "identity": getattr(self, "_identity", ""),
+            "method": self.command,
+            "path": self.path,
+            "status": status,
+            "seconds": round(
+                time.perf_counter() - getattr(self, "_started", time.perf_counter()), 6
+            ),
+            "bytes": body_bytes,
+        }
+        if getattr(self, "_fingerprint", ""):
+            record["fingerprint"] = self._fingerprint
+        sys.stderr.write(json.dumps(record) + "\n")
 
 
 class CompileServiceServer(ThreadingHTTPServer):
@@ -344,6 +440,11 @@ class CompileServiceServer(ThreadingHTTPServer):
     auth for every ``/v1/*`` endpoint; ``rate_limiter`` (a
     :class:`RateLimiter`) throttles compile submissions per identity.  Both
     default to off, preserving the trusted-network behaviour.
+
+    ``access_log`` selects the per-request log style: ``"plain"`` (the
+    stdlib's lines), ``"json"`` (one object per request) or ``"none"``.
+    The legacy ``verbose`` flag maps to ``"plain"``/``"none"`` and loses to
+    an explicit ``access_log``.
     """
 
     daemon_threads = True
@@ -354,15 +455,27 @@ class CompileServiceServer(ThreadingHTTPServer):
         engine: CompileEngine,
         *,
         verbose: bool = False,
+        access_log: str | None = None,
         authenticator: TokenAuthenticator | None = None,
         rate_limiter: RateLimiter | None = None,
     ) -> None:
         self.engine = engine
-        self.verbose = verbose
+        if access_log is None:
+            access_log = "plain" if verbose else "none"
+        if access_log not in ACCESS_LOG_MODES:
+            raise ValueError(
+                f"access_log must be one of {ACCESS_LOG_MODES}, got {access_log!r}"
+            )
+        self.access_log = access_log
         self.authenticator = authenticator
         self.rate_limiter = rate_limiter
         self._serve_thread: threading.Thread | None = None
         super().__init__(address, CompileServiceHandler)
+
+    @property
+    def verbose(self) -> bool:
+        """Back-compat view of ``access_log`` (True when plain logging)."""
+        return self.access_log == "plain"
 
     @property
     def port(self) -> int:
@@ -384,6 +497,7 @@ def start_server(
     host: str = DEFAULT_HOST,
     port: int = 0,
     verbose: bool = False,
+    access_log: str | None = None,
     authenticator: TokenAuthenticator | None = None,
     rate_limiter: RateLimiter | None = None,
 ) -> CompileServiceServer:
@@ -393,12 +507,14 @@ def start_server(
     the shape tests and examples want.  Call :meth:`CompileServiceServer.stop`
     when done; the engine's lifecycle stays with the caller.
     ``authenticator``/``rate_limiter`` enable admission control exactly like
-    the ``--auth-token-file``/``--rate-limit`` CLI flags.
+    the ``--auth-token-file``/``--rate-limit`` CLI flags, and ``access_log``
+    selects the log style like ``--access-log``.
     """
     server = CompileServiceServer(
         (host, port),
         engine,
         verbose=verbose,
+        access_log=access_log,
         authenticator=authenticator,
         rate_limiter=rate_limiter,
     )
@@ -436,18 +552,28 @@ class ServiceClient:
         self.timeout = timeout
         self.token = token
 
-    def compile(self, target: CompileTarget) -> dict:
-        """Compile one target remotely; returns the wire-format result."""
-        return self._request("POST", "/v1/compile", target_to_wire(target))
+    def compile(self, target: CompileTarget, *, trace: bool = False) -> dict:
+        """Compile one target remotely; returns the wire-format result.
 
-    def compile_batch(self, targets) -> dict:
+        ``trace=True`` asks the service for the per-stage span tree
+        (``?trace=1``); it comes back under the result's ``"spans"`` key.
+        """
+        path = "/v1/compile?trace=1" if trace else "/v1/compile"
+        return self._request("POST", path, target_to_wire(target))
+
+    def compile_batch(self, targets, *, trace: bool = False) -> dict:
         """Compile an ordered batch; per-item errors come back in their slots."""
+        path = "/v1/batch?trace=1" if trace else "/v1/batch"
         return self._request(
-            "POST", "/v1/batch", {"targets": [target_to_wire(t) for t in targets]}
+            "POST", path, {"targets": [target_to_wire(t) for t in targets]}
         )
 
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition (``?format=prometheus``), verbatim."""
+        return self._request("GET", "/v1/metrics?format=prometheus", raw=True)
 
     def cache_stats(self) -> dict:
         return self._request("GET", "/v1/cache/stats")
@@ -455,7 +581,9 @@ class ServiceClient:
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self, method: str, path: str, payload: dict | None = None, *, raw: bool = False
+    ):
         connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = None if payload is None else json.dumps(payload).encode("utf-8")
@@ -465,7 +593,7 @@ class ServiceClient:
             try:
                 connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
-                raw = response.read()
+                body_bytes = response.read()
             except (OSError, HTTPException) as exc:
                 # Surface transport failures as the same typed error clients
                 # already catch, instead of whatever http.client raises.
@@ -474,10 +602,12 @@ class ServiceClient:
                 ) from exc
         finally:
             connection.close()
+        if raw and response.status < 400:
+            return body_bytes.decode("utf-8", "replace")
         try:
-            data = json.loads(raw.decode("utf-8"))
+            data = json.loads(body_bytes.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
-            data = {"error": raw[:200].decode("utf-8", "replace")}
+            data = {"error": body_bytes[:200].decode("utf-8", "replace")}
         if response.status >= 400:
             retry_after = None
             header = response.getheader("Retry-After")
@@ -495,7 +625,13 @@ class ServiceClient:
         return data
 
 
-def main(argv=None) -> None:
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.service.http`` argument parser.
+
+    Split out of :func:`main` so the generated CLI-flag table in
+    ``docs/serving.md`` (``tools/gen_docs_tables.py``) and the tests render
+    the real parser instead of a hand-maintained copy.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.service.http",
         description="Serve ImaGen compile requests over HTTP/JSON.",
@@ -557,7 +693,24 @@ def main(argv=None) -> None:
         help="full-queue policy: shed (429 + Retry-After) or block "
         "(backpressure the handler thread) (default: %(default)s)",
     )
-    parser.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
+    parser.add_argument(
+        "--access-log",
+        choices=ACCESS_LOG_MODES,
+        default="plain",
+        help="per-request log style: plain (stdlib lines), json (one object "
+        "per request: identity, path, status, seconds, fingerprint) or none "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request access logs (same as --access-log none)",
+    )
+    return parser
+
+
+def main(argv=None) -> None:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     try:
@@ -603,7 +756,7 @@ def main(argv=None) -> None:
     server = CompileServiceServer(
         (args.host, args.port),
         engine,
-        verbose=not args.quiet,
+        access_log="none" if args.quiet else args.access_log,
         authenticator=authenticator,
         rate_limiter=rate_limiter,
     )

@@ -37,6 +37,7 @@ from repro.errors import ReproError
 from repro.ir.dag import PipelineDAG
 from repro.memory.spec import MemorySpec, asic_dual_port
 from repro.service.cache import CacheStats, CompileCache, DiskCacheStore
+from repro.trace import Span, collect_spans, default_tracing
 
 
 class CompileStatus(enum.Enum):
@@ -129,6 +130,9 @@ class CompileResult:
     error: str | None = None
     source: str = "solver"
     seconds: float = 0.0
+    #: Stage spans (:class:`repro.trace.Span`) recorded while the job ran;
+    #: empty when tracing is disabled or the job never ran (rejected).
+    spans: tuple[Span, ...] = ()
 
     @property
     def request(self) -> CompileRequest:
@@ -231,7 +235,11 @@ def derive_source(accelerator: CompiledAccelerator) -> str:
 
 
 def execute_target(
-    target: CompileTarget, cache: CompileCache | None, fingerprint: str | None = None
+    target: CompileTarget,
+    cache: CompileCache | None,
+    fingerprint: str | None = None,
+    *,
+    tracing: bool | None = None,
 ) -> CompileResult:
     """Run one compile job, capturing failures instead of raising.
 
@@ -240,17 +248,24 @@ def execute_target(
     process (``process``, via :func:`execute_wire_job`).  One bad design
     point yields an error-carrying :class:`CompileResult` so it can never
     kill a batch or a sweep.
+
+    Stage spans recorded during the compile ride on ``result.spans``.
+    ``tracing=None`` follows the ``REPRO_TRACE`` default — which worker
+    processes inherit from the parent's environment.
     """
     fingerprint = fingerprint or target.fingerprint
+    trace = collect_spans(enabled=default_tracing() if tracing is None else tracing)
     started = time.perf_counter()
     try:
-        accelerator = compile_pipeline(target, cache=cache)
+        with trace:
+            accelerator = compile_pipeline(target, cache=cache)
     except Exception as exc:
         return CompileResult(
             target=target,
             fingerprint=fingerprint,
             error=f"{type(exc).__name__}: {exc}",
             seconds=time.perf_counter() - started,
+            spans=trace.spans,
         )
     return CompileResult(
         target=target,
@@ -258,6 +273,7 @@ def execute_target(
         accelerator=accelerator,
         source=derive_source(accelerator),
         seconds=time.perf_counter() - started,
+        spans=trace.spans,
     )
 
 

@@ -60,6 +60,7 @@ from repro.ir.stencil import StencilWindow
 from repro.memory.spec import MemorySpec
 from repro.service.cache import deserialize_schedule, serialize_schedule
 from repro.service.jobs import BatchResult, CompileResult
+from repro.trace import spans_from_payload, spans_to_payload
 
 #: Bump when the wire layout changes incompatibly; requests carrying another
 #: version are rejected with a clear error instead of being misparsed.
@@ -322,7 +323,7 @@ def target_from_wire(payload: dict) -> CompileTarget:
 # ---------------------------------------------------------------------------
 # Results
 # ---------------------------------------------------------------------------
-def result_to_wire(result: CompileResult) -> dict:
+def result_to_wire(result: CompileResult, *, include_spans: bool = False) -> dict:
     """Flatten one :class:`CompileResult` into the response body.
 
     Successful results carry the flat area/power summary of
@@ -330,6 +331,10 @@ def result_to_wire(result: CompileResult) -> dict:
     metrics of the paper's tables) instead of the full schedule; failures
     carry the captured error string.  Both shapes share fingerprint, source
     and latency so clients can always account for a request the same way.
+
+    ``include_spans=True`` (the HTTP front's ``?trace=1``) adds the nested
+    stage-span tree recorded while the job ran; it is omitted by default so
+    the steady-state response body stays small.
     """
     payload = {
         "ok": result.ok,
@@ -343,13 +348,18 @@ def result_to_wire(result: CompileResult) -> dict:
         payload["error"] = result.error
     if result.accelerator is not None:
         payload["report"] = accelerator_report(result.accelerator).row()
+    if include_spans:
+        payload["spans"] = spans_to_payload(result.spans)
     return payload
 
 
-def batch_result_to_wire(batch: BatchResult) -> dict:
+def batch_result_to_wire(batch: BatchResult, *, include_spans: bool = False) -> dict:
     """Flatten a :class:`BatchResult`: ordered per-item results + aggregates."""
     payload = {
-        "results": [result_to_wire(result) for result in batch.results],
+        "results": [
+            result_to_wire(result, include_spans=include_spans)
+            for result in batch.results
+        ],
         "seconds": batch.seconds,
     }
     if batch.cache_stats is not None:
@@ -444,6 +454,8 @@ def full_result_to_wire(result: CompileResult) -> dict:
         payload["error"] = result.error
     if result.accelerator is not None:
         payload["accelerator"] = accelerator_to_wire(result.accelerator)
+    if result.spans:
+        payload["spans"] = spans_to_payload(result.spans)
     return payload
 
 
@@ -464,6 +476,10 @@ def full_result_from_wire(payload: dict, target: CompileTarget) -> CompileResult
         else None
     )
     error = payload.get("error")
+    try:
+        spans = spans_from_payload(payload.get("spans"))
+    except ValueError as exc:
+        raise WireFormatError(f"Invalid spans payload: {exc}") from None
     return CompileResult(
         target=target,
         fingerprint=str(payload.get("fingerprint", "")) or target.fingerprint,
@@ -471,4 +487,5 @@ def full_result_from_wire(payload: dict, target: CompileTarget) -> CompileResult
         error=None if error is None else str(error),
         source=str(payload.get("source", "solver")),
         seconds=float(payload.get("seconds", 0.0)),
+        spans=spans,
     )

@@ -1,0 +1,102 @@
+"""Span trees survive the process-pool wire boundary losslessly.
+
+Acceptance for the tracing tentpole: a cold solve dispatched to a process
+worker must come back with the same span tree (names and nesting) as the
+identical solve run inline — the spans are collected in the worker, ride the
+wire result, and are absorbed into the parent engine's result and stage
+histograms.  ``REPRO_TRACE=0`` must switch worker-side collection off (the
+variable is inherited by the pool).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.algorithms import build_algorithm
+from repro.api import CompileTarget
+from repro.service import CompileEngine
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+
+def _target() -> CompileTarget:
+    return CompileTarget(build_algorithm("unsharp-m"), image_width=W, image_height=H)
+
+
+def _name_tree(spans) -> list:
+    """The shape of a span forest: names and nesting, no timings."""
+    return [[span.name, _name_tree(span.children)] for span in spans]
+
+
+class TestProcessPoolSpanParity:
+    def test_cold_process_solve_matches_inline_span_tree(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with CompileEngine(executor="inline", tracing=True) as inline_engine:
+            inline_result = inline_engine.submit(_target())
+        with CompileEngine(workers=1, executor="process") as process_engine:
+            process_result = process_engine.submit(_target())
+        assert inline_result.ok and process_result.ok
+        assert inline_result.source == "solver"
+        assert process_result.source == "solver"
+        assert process_result.spans, "worker spans were dropped at the wire boundary"
+        assert _name_tree(process_result.spans) == _name_tree(inline_result.spans)
+
+    def test_absorbed_result_keeps_spans_and_feeds_histograms_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with CompileEngine(workers=1, executor="process") as engine:
+            result = engine.submit(_target())
+            names = {span.name for span in result.spans}
+            # RTL emission is on-demand (generate_verilog), so a plain
+            # compile traces the cache/solve/allocate stages only.
+            assert {"cache", "solve", "allocate"} <= names
+            histograms = engine.metrics.stage_histograms()
+        for stage in ("cache", "solve", "allocate"):
+            assert histograms[stage]["count"] == 1, stage  # exactly once, not zero/twice
+        assert histograms["rtl"]["count"] == 0  # pre-seeded family, no emission ran
+
+    def test_repro_trace_0_disables_worker_collection(self):
+        # REPRO_TRACE is read when worker processes start, and the pool's
+        # forkserver inherits the environment of its *first* use in this
+        # interpreter — so the knob needs a fresh interpreter to be testable.
+        repo = Path(__file__).resolve().parents[2]
+        script = textwrap.dedent(
+            f"""
+            from repro.algorithms import build_algorithm
+            from repro.api import CompileTarget
+            from repro.service import CompileEngine
+
+            target = CompileTarget(
+                build_algorithm("unsharp-m"), image_width={W}, image_height={H}
+            )
+            with CompileEngine(workers=1, executor="process") as engine:
+                result = engine.submit(target)
+                assert result.ok
+                assert result.spans == (), result.spans
+                assert engine.metrics.stage_histograms()["solve"]["count"] == 0
+            print("NO-SPANS-OK")
+            """
+        )
+        env = dict(os.environ, REPRO_TRACE="0", PYTHONPATH=str(repo / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "NO-SPANS-OK" in proc.stdout
+
+    def test_thread_backend_matches_inline_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with CompileEngine(executor="inline", tracing=True) as inline_engine:
+            inline_result = inline_engine.submit(_target())
+        with CompileEngine(workers=1, executor="thread") as thread_engine:
+            thread_result = thread_engine.submit(_target())
+        assert _name_tree(thread_result.spans) == _name_tree(inline_result.spans)

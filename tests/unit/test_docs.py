@@ -33,7 +33,14 @@ def _service_modules() -> list[str]:
 
 
 def test_docs_tree_exists_with_required_pages():
-    for page in ("README.md", "architecture.md", "serving.md", "tuning.md", "wire-protocol.md"):
+    for page in (
+        "README.md",
+        "architecture.md",
+        "observability.md",
+        "serving.md",
+        "tuning.md",
+        "wire-protocol.md",
+    ):
         assert (REPO_ROOT / "docs" / page).exists(), f"docs/{page} is missing"
 
 
