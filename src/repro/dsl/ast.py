@@ -224,19 +224,25 @@ def stencil_windows(expr: Expr) -> dict[str, StencilWindow]:
 # Functional evaluation over NumPy images
 # ---------------------------------------------------------------------------
 def _shifted(image: np.ndarray, dx: int, dy: int) -> np.ndarray:
-    """Return image sampled at (x+dx, y+dy) with edge-clamped borders."""
-    height, width = image.shape
+    """Return image sampled at (x+dx, y+dy) with edge-clamped borders.
+
+    Shifts the trailing two axes only, so a (frames, height, width) batch
+    evaluates all frames in one pass — the vectorized replay path of
+    ``repro.sim.batch`` relies on this.
+    """
+    height, width = image.shape[-2], image.shape[-1]
     ys = np.clip(np.arange(height) + dy, 0, height - 1)
     xs = np.clip(np.arange(width) + dx, 0, width - 1)
-    return image[np.ix_(ys, xs)]
+    return image[..., ys[:, None], xs[None, :]]
 
 
 def evaluate(expr: Expr, images: Mapping[str, np.ndarray]) -> np.ndarray:
     """Evaluate ``expr`` over full images (pixel-accurate functional semantics).
 
-    ``images`` maps producer stage names to 2-D float arrays of identical
-    shape.  Border handling is edge clamping, matching the padding assumption
-    of the paper's formulation (Sec. 5, footnote 2).
+    ``images`` maps producer stage names to float arrays of identical shape —
+    2-D ``(height, width)`` single frames or N-D batches whose trailing two
+    axes are ``(height, width)``.  Border handling is edge clamping, matching
+    the padding assumption of the paper's formulation (Sec. 5, footnote 2).
     """
     if isinstance(expr, Const):
         shapes = {img.shape for img in images.values()}

@@ -29,6 +29,13 @@ unified :class:`repro.api.CompileTarget` request object:
   synchronous (``submit``/``submit_batch``) and asyncio
   (``submit_async``/``submit_batch_async``) serving fronts plus opt-in
   speculative pre-warming;
+* :mod:`repro.service.verify` — verification-as-a-service: the
+  :class:`VerifyEngine` answering golden-replay and cycle-legality checks
+  with cached, deduplicated, admission-controlled verdicts
+  (``POST /v1/verify``);
+* :mod:`repro.service.events` — the structured JSON emitter for
+  engine-internal events (autoscaler grow/shrink, queue sheds, disk-cache
+  GC), keyed like the access log;
 * :mod:`repro.service.wire` — the JSON codec that round-trips
   :class:`CompileTarget` requests (and, losslessly, full schedules and
   results — the process boundary's transport) and flattens results for the
@@ -89,6 +96,13 @@ from repro.service.engine import (
     CompileEngine,
     default_worker_count,
 )
+from repro.service.events import (
+    EVENT_LOG_ENV_VAR,
+    EventLog,
+    configure_event_log,
+    emit_event,
+    get_event_log,
+)
 from repro.service.executor import (
     EXECUTOR_ENV_VAR,
     EXECUTOR_NAMES,
@@ -125,6 +139,14 @@ from repro.service.observability import (
     span_attr,
     trace_span,
 )
+from repro.service.verify import (
+    CHECK_KINDS,
+    VERIFY_FORMAT_VERSION,
+    VerifyEngine,
+    VerifyRequest,
+    VerifyResult,
+    verify_fingerprint,
+)
 from repro.service.wire import (
     WIRE_FORMAT_VERSION,
     WireFormatError,
@@ -138,6 +160,9 @@ from repro.service.wire import (
     schedule_to_wire,
     target_from_wire,
     target_to_wire,
+    verify_request_from_wire,
+    verify_request_to_wire,
+    verify_result_to_wire,
 )
 
 __all__ = [
@@ -146,6 +171,7 @@ __all__ = [
     "AuthenticationError",
     "AutoscalingExecutor",
     "BatchResult",
+    "CHECK_KINDS",
     "CacheStats",
     "CompileCache",
     "CompileEngine",
@@ -155,9 +181,11 @@ __all__ = [
     "CompileStatus",
     "CompileTarget",
     "DiskCacheStore",
+    "EVENT_LOG_ENV_VAR",
     "EXECUTOR_ENV_VAR",
     "EXECUTOR_NAMES",
     "EngineMetrics",
+    "EventLog",
     "ExecutorBackend",
     "FINGERPRINT_VERSION",
     "InlineExecutor",
@@ -178,6 +206,10 @@ __all__ = [
     "ThreadExecutor",
     "TokenAuthenticator",
     "TokenRecord",
+    "VERIFY_FORMAT_VERSION",
+    "VerifyEngine",
+    "VerifyRequest",
+    "VerifyResult",
     "WIRE_FORMAT_VERSION",
     "WORKERS_ENV_VAR",
     "WireFormatError",
@@ -186,12 +218,15 @@ __all__ = [
     "batch_result_to_wire",
     "collect_spans",
     "compile_fingerprint",
+    "configure_event_log",
     "dag_fingerprint",
     "default_executor_name",
     "default_worker_count",
     "deserialize_schedule",
+    "emit_event",
     "full_result_from_wire",
     "full_result_to_wire",
+    "get_event_log",
     "metric_spec",
     "parse_rate_limit",
     "parse_token_line",
@@ -208,4 +243,8 @@ __all__ = [
     "trace_span",
     "validate_max_pending",
     "validate_worker_count",
+    "verify_fingerprint",
+    "verify_request_from_wire",
+    "verify_request_to_wire",
+    "verify_result_to_wire",
 ]

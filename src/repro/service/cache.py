@@ -49,6 +49,7 @@ from repro.core.scheduler import realize_line_buffers
 from repro.ir.dag import PipelineDAG
 from repro.memory.linebuffer import LineBufferConfig
 from repro.memory.spec import MemorySpec
+from repro.service.events import emit_event
 from repro.trace import span_attr, trace_span
 
 #: Bump when the serialized payload layout changes; stale disk entries are
@@ -334,24 +335,33 @@ class DiskCacheStore:
                 continue
             entries.append((stat.st_mtime, stat.st_size, path))
         entries.sort()  # oldest mtime first == least recently used first
+        evicted = 0
         survivors = []
         if self.max_age_seconds is not None:
             deadline = time.time() - self.max_age_seconds
             for entry in entries:
                 if entry[0] < deadline:
                     _unlink_quietly(entry[2])
+                    evicted += 1
                 else:
                     survivors.append(entry)
             entries = survivors
+        remaining = sum(size for _, size, _ in entries)
         if self.max_bytes is not None:
-            total = sum(size for _, size, _ in entries)
             for _, size, path in entries:
-                if total <= self.max_bytes:
+                if remaining <= self.max_bytes:
                     break
                 _unlink_quietly(path)
-                total -= size
+                evicted += 1
+                remaining -= size
         with self._gc_lock:
             self._last_age_sweep = time.monotonic()
+        emit_event(
+            "cache.gc",
+            evicted=evicted,
+            remaining_bytes=remaining,
+            directory=str(self.directory),
+        )
 
     def total_bytes(self) -> int:
         """Current total size of all entries (sharded + legacy flat)."""

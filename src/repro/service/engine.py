@@ -92,6 +92,7 @@ from repro.core.scheduler import SchedulerOptions
 from repro.ir.dag import PipelineDAG
 from repro.memory.spec import MemorySpec
 from repro.service.cache import CompileCache, DiskCacheStore
+from repro.service.events import emit_event
 from repro.service.executor import (
     WORKERS_ENV_VAR,
     ExecutorBackend,
@@ -614,6 +615,13 @@ class CompileEngine:
                     )
                 except BaseException as exc:  # QueueFullError, or a broken queue
                     future.set_exception(exc)
+                    if isinstance(exc, QueueFullError):
+                        emit_event(
+                            "queue.shed",
+                            identity=client,
+                            fingerprint=fingerprint,
+                            retry_after=round(exc.retry_after, 3),
+                        )
                     raise
         local[fingerprint] = future
         return future, owner

@@ -55,6 +55,7 @@ from concurrent.futures import CancelledError, Future, ProcessPoolExecutor, Thre
 from typing import Callable
 
 from repro.api.target import CompileTarget
+from repro.service.events import emit_event
 from repro.service.jobs import CompileResult, execute_wire_job
 
 
@@ -453,13 +454,9 @@ class AutoscalingExecutor(ExecutorBackend):
             )
         worker = _AutoWorker(backend)
         self._scale_ups += 1
-        self._events.append(
-            {
-                "action": "grow",
-                "workers": len(self._idle) + len(self._busy) + 1,
-                "at": self._clock(),
-            }
-        )
+        workers = len(self._idle) + len(self._busy) + 1
+        self._events.append({"action": "grow", "workers": workers, "at": self._clock()})
+        emit_event("autoscaler.grow", executor=self.name, workers=workers)
         return worker
 
     @property
@@ -544,6 +541,7 @@ class AutoscalingExecutor(ExecutorBackend):
             for _ in retired:
                 self._scale_downs += 1
             self._events.append({"action": "shrink", "workers": total, "at": now})
+            emit_event("autoscaler.shrink", executor=self.name, workers=total)
         return retired
 
     def _schedule_reap_locked(self) -> None:

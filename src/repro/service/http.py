@@ -21,6 +21,13 @@ Endpoints
   ordered per-item results; an undecodable, failing or queue-shed item
   yields an error-carrying entry in its slot, never a 500 for the whole
   batch.
+* ``POST /v1/verify`` — body: one wire-format verify request
+  (:func:`repro.service.wire.verify_request_to_wire`): a target plus a check
+  kind (``golden``/``cycle``/``both``) and input spec.  Responds 200 with
+  :func:`repro.service.wire.verify_result_to_wire` output; a verification
+  that *errored* in simulation (bad input spec, strict-mode failure) is a
+  422 with ``reason: "verify-failed"``, never a 500.  See
+  ``docs/verification.md``.
 * ``GET /v1/metrics`` — engine request counters plus executor scaling and
   admission counters (``rejected_total``, ``queue_depth``, live worker
   count).  ``?format=prometheus`` returns the same metrics — plus the
@@ -37,7 +44,10 @@ allocation, RTL generation) recorded while that job ran — see
 Access logs default to the stdlib's plain lines; ``--access-log json``
 switches to one JSON object per request (identity, method, path, status,
 seconds, fingerprint) for log pipelines, and ``--access-log none`` (or the
-legacy ``--quiet``) silences them.
+legacy ``--quiet``) silences them.  ``--event-log json`` additionally
+streams the service's *internal* events — autoscaler grow/shrink, queue
+sheds, disk-cache GC — as JSON lines on the same stream
+(:mod:`repro.service.events`).
 
 Admission control
 -----------------
@@ -81,7 +91,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api.target import CompileTarget
-from repro.errors import ReproError
+from repro.errors import ReproError, SimulationError
 from repro.service.admission import (
     QueueFullError,
     RateLimiter,
@@ -91,14 +101,19 @@ from repro.service.admission import (
 )
 from repro.service.cache import CompileCache, DiskCacheStore
 from repro.service.engine import CompileEngine
+from repro.service.events import configure_event_log
 from repro.service.executor import EXECUTOR_NAMES, validate_worker_count
 from repro.service.observability import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.service.verify import VerifyEngine, VerifyRequest
 from repro.service.wire import (
     WireFormatError,
     batch_result_to_wire,
     result_to_wire,
     target_from_wire,
     target_to_wire,
+    verify_request_from_wire,
+    verify_request_to_wire,
+    verify_result_to_wire,
 )
 
 #: Upper bound on accepted request bodies; a pipeline DAG is a few KB, so
@@ -261,6 +276,8 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
             route = self._compile_one
         elif path == "/v1/batch":
             route = self._compile_batch
+        elif path == "/v1/verify":
+            route = self._verify_one
         else:
             self._send(404, {"error": f"Unknown path {path!r}"})
             return
@@ -278,6 +295,11 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
             # The engine's bounded queue shed this submit: degrade loudly and
             # cheaply, with the engine's own estimate of when to come back.
             self._send_retry(str(exc), reason="queue-full", retry_after=exc.retry_after)
+        except SimulationError as exc:
+            # A verification that could not produce a passing verdict (bad
+            # input spec, strict-mode check failure) is a client-visible
+            # outcome of *their* request, not a server fault: typed 422.
+            self._send(422, {"error": str(exc), "reason": "verify-failed"})
         except Exception as exc:  # noqa: BLE001 - errors must be JSON, not resets
             # The service contract is "errors come back as JSON": an internal
             # failure becomes a 500 body instead of an opaque dropped socket.
@@ -325,6 +347,21 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         ]
         self._send(200, body)
 
+    def _verify_one(self, payload, identity: str, *, include_spans: bool = False) -> None:
+        request = verify_request_from_wire(payload)
+        if not self._throttle(identity, cost=1):
+            return
+        result = self.server.verify_engine.submit(request, client=identity)
+        self._fingerprint = result.fingerprint
+        body = verify_result_to_wire(result, include_spans=include_spans)
+        if result.error_kind == "SimulationError":
+            # The checks themselves could not run against this input spec
+            # (zero frames, bad resolution): the request is well-formed JSON
+            # but un-verifiable — a client error, not a server fault.
+            self._send(422, {**body, "reason": "verify-failed"})
+            return
+        self._send(200, body)
+
     # -------------------------------------------------------------- plumbing
     def _metrics(self) -> dict:
         """Engine counters + executor scaling + admission/throttle state.
@@ -336,6 +373,8 @@ class CompileServiceHandler(BaseHTTPRequestHandler):
         summary = self.engine.metrics.summary()
         summary.update(self.engine.executor_stats())
         summary.update(self.engine.admission_stats())
+        for key, value in self.server.verify_engine.stats().items():
+            summary[f"verify_{key}"] = value
         summary["auth"] = "token" if self.server.authenticator else "anonymous"
         limiter = self.server.rate_limiter
         if limiter is not None:
@@ -441,6 +480,10 @@ class CompileServiceServer(ThreadingHTTPServer):
     :class:`RateLimiter`) throttles compile submissions per identity.  Both
     default to off, preserving the trusted-network behaviour.
 
+    ``verify_engine`` serves ``POST /v1/verify``; when omitted, one is
+    constructed over the shared engine with defaults (unbounded verify
+    queue, verdicts persisted to the engine's disk-cache volume if any).
+
     ``access_log`` selects the per-request log style: ``"plain"`` (the
     stdlib's lines), ``"json"`` (one object per request) or ``"none"``.
     The legacy ``verbose`` flag maps to ``"plain"``/``"none"`` and loses to
@@ -458,8 +501,10 @@ class CompileServiceServer(ThreadingHTTPServer):
         access_log: str | None = None,
         authenticator: TokenAuthenticator | None = None,
         rate_limiter: RateLimiter | None = None,
+        verify_engine: VerifyEngine | None = None,
     ) -> None:
         self.engine = engine
+        self.verify_engine = verify_engine if verify_engine is not None else VerifyEngine(engine)
         if access_log is None:
             access_log = "plain" if verbose else "none"
         if access_log not in ACCESS_LOG_MODES:
@@ -500,6 +545,7 @@ def start_server(
     access_log: str | None = None,
     authenticator: TokenAuthenticator | None = None,
     rate_limiter: RateLimiter | None = None,
+    verify_engine: VerifyEngine | None = None,
 ) -> CompileServiceServer:
     """Boot a service in a background thread; returns the bound server.
 
@@ -517,6 +563,7 @@ def start_server(
         access_log=access_log,
         authenticator=authenticator,
         rate_limiter=rate_limiter,
+        verify_engine=verify_engine,
     )
     thread = threading.Thread(
         target=server.serve_forever, name="repro-http-serve", daemon=True
@@ -567,6 +614,38 @@ class ServiceClient:
         return self._request(
             "POST", path, {"targets": [target_to_wire(t) for t in targets]}
         )
+
+    def verify(
+        self,
+        target: CompileTarget,
+        *,
+        check: str = "both",
+        frames: int = 2,
+        seed: int = 0,
+        tolerance: float = 0.0,
+        expected_digest: str | None = None,
+        strict: bool = False,
+        trace: bool = False,
+    ) -> dict:
+        """Verify one target remotely; returns the wire-format verdict.
+
+        Check *failures* come back as 200s with ``passed: false``; an
+        un-runnable check (bad input spec, ``strict=True`` on a failing
+        design) raises :class:`ServiceError` with ``status=422`` and
+        ``body["reason"] == "verify-failed"``.  ``trace=True`` adds the
+        ``verify``/``verify_golden``/``verify_cycle`` span tree.
+        """
+        request = VerifyRequest(
+            target=target,
+            check=check,
+            frames=frames,
+            seed=seed,
+            tolerance=tolerance,
+            expected_digest=expected_digest,
+            strict=strict,
+        )
+        path = "/v1/verify?trace=1" if trace else "/v1/verify"
+        return self._request("POST", path, verify_request_to_wire(request))
 
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
@@ -702,6 +781,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--event-log",
+        choices=("json", "none"),
+        default=None,
+        help="engine-internal event stream (autoscaler grow/shrink, queue "
+        "sheds, cache GC) as JSON lines on stderr "
+        "(default: REPRO_EVENT_LOG or none)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-request access logs (same as --access-log none)",
@@ -753,6 +840,8 @@ def main(argv=None) -> None:
         )
     except (OSError, ValueError) as exc:  # bad flags, env bounds, token file
         parser.error(str(exc))
+    if args.event_log is not None:
+        configure_event_log(enabled=args.event_log == "json")
     server = CompileServiceServer(
         (args.host, args.port),
         engine,

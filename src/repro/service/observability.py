@@ -166,6 +166,18 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
     MetricSpec("rejected_total", "counter", "", "Jobs shed by the admission queue since start (authoritative shed count).", prometheus="repro_rejected_total"),
     MetricSpec("blocked_total", "counter", "", "Submissions that waited for queue space under the block policy.", prometheus="repro_blocked_total"),
     MetricSpec("queued_clients", "gauge", "", "Distinct client identities with work waiting in the queue.", prometheus="repro_queued_clients"),
+    # -- verification engine (VerifyEngine.stats) ----------------------------
+    MetricSpec("verify_requests", "counter", "", "Verification jobs accounted by the verify engine, all source classes.", prometheus="repro_verify_requests_total"),
+    MetricSpec("verify_verified", "counter", "", "Verification jobs that ran checks fresh (replay and/or legality analysis).", prometheus="repro_verify_verified_total"),
+    MetricSpec("verify_passed", "counter", "", "Completed verifications whose checks all passed.", prometheus="repro_verify_passed_total"),
+    MetricSpec("verify_failed", "counter", "", "Completed verifications with at least one failed check (mismatch or violation).", prometheus="repro_verify_failed_total"),
+    MetricSpec("verify_errors", "counter", "", "Verification jobs that errored before producing a verdict (infeasible compiles, internal errors).", prometheus="repro_verify_errors_total"),
+    MetricSpec("verify_rejected", "counter", "", "Verification jobs shed by the verify admission queue.", prometheus="repro_verify_rejected_total"),
+    MetricSpec("verify_served_from_memory", "counter", "", "Verdicts answered from the in-memory verdict cache.", prometheus="repro_verify_served_from_memory_total"),
+    MetricSpec("verify_served_from_disk", "counter", "", "Verdicts answered from the disk verdict tier.", prometheus="repro_verify_served_from_disk_total"),
+    MetricSpec("verify_deduplicated", "counter", "", "Verification jobs that joined an identical in-flight verification.", prometheus="repro_verify_deduplicated_total"),
+    MetricSpec("verify_seconds_total", "counter", "seconds", "Wall-clock seconds spent answering verification requests.", prometheus="repro_verify_seconds_total"),
+    MetricSpec("verify_cache_entries", "gauge", "", "Entries in the in-memory verdict cache.", prometheus="repro_verify_cache_entries"),
     # -- HTTP front ----------------------------------------------------------
     MetricSpec("throttled_total", "counter", "", "Requests answered 429 by the per-identity rate limiter.", prometheus="repro_throttled_total"),
     MetricSpec("rate_limit", "object", "", "Rate-limiter configuration and counters (present when --rate-limit is set)."),

@@ -489,3 +489,105 @@ def full_result_from_wire(payload: dict, target: CompileTarget) -> CompileResult
         seconds=float(payload.get("seconds", 0.0)),
         spans=spans,
     )
+
+
+# ---------------------------------------------------------------------------
+# Verify payloads (v1) — see docs/verification.md and docs/wire-protocol.md
+# ---------------------------------------------------------------------------
+def verify_request_to_wire(request: "VerifyRequest") -> dict:
+    """Encode one :class:`~repro.service.verify.VerifyRequest` (payload v1).
+
+    Defaults are omitted on the wire — a minimal request is just
+    ``{"target": {...}}`` — and the ``version`` field follows the same
+    exact-match rule as target payloads (:data:`VERIFY_FORMAT_VERSION`).
+    """
+    # Function-local: verify pulls in numpy and the sim stack, which process
+    # workers (whose only wire users are compile jobs) must not pay to import.
+    from repro.service.verify import VERIFY_FORMAT_VERSION
+
+    payload = {
+        "version": VERIFY_FORMAT_VERSION,
+        "target": target_to_wire(request.target),
+        "check": request.check,
+    }
+    if request.frames != 2:
+        payload["frames"] = request.frames
+    if request.seed != 0:
+        payload["seed"] = request.seed
+    if request.tolerance != 0.0:
+        payload["tolerance"] = request.tolerance
+    if request.expected_digest is not None:
+        payload["expected_digest"] = request.expected_digest
+    if request.strict:
+        payload["strict"] = True
+    return payload
+
+
+def verify_request_from_wire(payload: dict) -> "VerifyRequest":
+    """Decode a verify request; unknown fields and bad versions are rejected."""
+    from repro.service.verify import (
+        VERIFY_FORMAT_VERSION,
+        VERIFY_REQUEST_FIELDS,
+        VerifyRequest,
+    )
+
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"Verify request must be a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.get("version", VERIFY_FORMAT_VERSION)
+    if version != VERIFY_FORMAT_VERSION:
+        raise WireFormatError(
+            f"Unsupported verify payload version {version!r} (this build speaks "
+            f"{VERIFY_FORMAT_VERSION})"
+        )
+    known = {"version", "target"} | {name for name, *_ in VERIFY_REQUEST_FIELDS}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise WireFormatError(f"Unknown verify request field(s): {', '.join(unknown)}")
+    target = target_from_wire(_require(payload, "target", "verify request"))
+    expected = payload.get("expected_digest")
+    try:
+        return VerifyRequest(
+            target=target,
+            check=str(payload.get("check", "both")),
+            frames=int(payload.get("frames", 2)),
+            seed=int(payload.get("seed", 0)),
+            tolerance=float(payload.get("tolerance", 0.0)),
+            expected_digest=None if expected is None else str(expected),
+            strict=bool(payload.get("strict", False)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(f"Invalid verify request: {exc}") from None
+
+
+def verify_result_to_wire(result: "VerifyResult", *, include_spans: bool = False) -> dict:
+    """Flatten one :class:`~repro.service.verify.VerifyResult` for HTTP clients.
+
+    ``ok`` says the check *ran*; ``passed`` says the design survived it —
+    a failed golden check is ``ok: true, passed: false``.  ``golden`` and
+    ``cycle`` appear only for the check kinds that ran; errors carry
+    ``error``/``error_kind`` instead (``error_kind: "SimulationError"`` is
+    what the HTTP front maps to 422 ``verify-failed``).
+    """
+    payload = {
+        "ok": result.ok,
+        "passed": result.passed,
+        "check": result.request.check,
+        "fingerprint": result.fingerprint,
+        "compile_fingerprint": result.compile_fingerprint,
+        "source": result.source,
+        "seconds": result.seconds,
+    }
+    if result.compile_source is not None:
+        payload["compile_source"] = result.compile_source
+    if result.golden is not None:
+        payload["golden"] = result.golden
+    if result.cycle is not None:
+        payload["cycle"] = result.cycle
+    if result.error is not None:
+        payload["error"] = result.error
+        payload["error_kind"] = result.error_kind
+    if include_spans:
+        payload["spans"] = spans_to_payload(result.spans)
+    return payload

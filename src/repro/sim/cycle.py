@@ -55,6 +55,10 @@ class SimulationReport:
     steady_state_throughput: float
     buffer_stats: dict[str, BufferStats]
     violations: list[str] = field(default_factory=list)
+    #: structured identities of every violated rule: (rule, producer, consumer)
+    #: with consumer ``None`` for the producer-level R3.  Unlike ``violations``
+    #: (bounded by ``max_violations``), this set is complete.
+    violation_keys: set[tuple[str, str, str | None]] = field(default_factory=set)
 
     @property
     def ok(self) -> bool:
@@ -89,9 +93,7 @@ def simulate_schedule(
     starts = schedule.start_cycles
     max_start = max(starts.values())
 
-    rows_needed = max_start // width + 1 + _max_stencil_height(schedule) + 3
-    rows = min(schedule.image_height, rows_needed if max_rows is None else max(max_rows, 1))
-    rows = min(rows, schedule.image_height)
+    rows = _analysis_rows(schedule, max_rows)
     frame_pixels = width * rows
 
     end_cycle = max_start + frame_pixels
@@ -100,6 +102,7 @@ def simulate_schedule(
 
     buffer_stats = {name: BufferStats(producer=name) for name in schedule.line_buffers}
     violations: list[str] = []
+    violation_keys: set[tuple[str, str, str | None]] = set()
 
     # Pre-compute, per buffer, its readers and their stencil heights.
     readers: dict[str, list[tuple[str, int]]] = {}
@@ -112,9 +115,10 @@ def simulate_schedule(
     output_start = starts[output_stage]
     output_pixels = 0
 
-    def record(message: str) -> None:
+    def record(message: str, rule: str, producer: str, consumer: str | None = None) -> None:
         if raise_on_violation:
             raise SimulationError(message)
+        violation_keys.add((rule, producer, consumer))
         if len(violations) < max_violations:
             violations.append(message)
 
@@ -154,7 +158,10 @@ def simulate_schedule(
                             if last_needed_cycle >= t:
                                 record(
                                     f"R2 violation at cycle {t}: {producer} overwrites line "
-                                    f"{old_line} col {writer_col} still needed by {consumer}"
+                                    f"{old_line} col {writer_col} still needed by {consumer}",
+                                    "R2",
+                                    producer,
+                                    consumer,
                                 )
 
             # Reader accesses.
@@ -182,7 +189,10 @@ def simulate_schedule(
                     if produced_at >= t:
                         record(
                             f"R1 violation at cycle {t}: {consumer} reads ({line},{col}) of "
-                            f"{producer} which is produced at cycle {produced_at}"
+                            f"{producer} which is produced at cycle {produced_at}",
+                            "R1",
+                            producer,
+                            consumer,
                         )
                     read_addresses.add((line, col))
 
@@ -202,7 +212,9 @@ def simulate_schedule(
                 if count > ports:
                     record(
                         f"R3 violation at cycle {t}: block {block} of LB[{producer}] receives "
-                        f"{count} accesses but has {ports} port(s)"
+                        f"{count} accesses but has {ports} port(s)",
+                        "R3",
+                        producer,
                     )
 
     steady_cycles = max(1, end_cycle - output_start)
@@ -215,9 +227,238 @@ def simulate_schedule(
         steady_state_throughput=throughput,
         buffer_stats=buffer_stats,
         violations=violations,
+        violation_keys=violation_keys,
     )
 
 
 def _max_stencil_height(schedule: PipelineSchedule) -> int:
     heights = [edge.window.height for edge in schedule.dag.edges()]
     return max(heights) if heights else 1
+
+
+def _analysis_rows(schedule: PipelineSchedule, max_rows: int | None) -> int:
+    """Rows of the frame both checkers analyze: ramp-up plus steady-state slack."""
+    width = schedule.image_width
+    max_start = max(schedule.start_cycles.values())
+    rows_needed = max_start // width + 1 + _max_stencil_height(schedule) + 3
+    rows = min(schedule.image_height, rows_needed if max_rows is None else max(max_rows, 1))
+    return min(rows, schedule.image_height)
+
+
+# ---------------------------------------------------------------------------
+# Reserved-table legality: closed-form R1/R2 plus a periodic R3 slot table
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LegalityViolation:
+    """One violated no-stall rule, identified structurally."""
+
+    rule: str  # "R1" | "R2" | "R3"
+    producer: str
+    consumer: str | None
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str | None]:
+        return (self.rule, self.producer, self.consumer)
+
+
+@dataclass
+class LegalityReport:
+    """Outcome of the reserved-table legality check.
+
+    Comparable to :class:`SimulationReport` at rule granularity:
+    ``report.keys() == simulate_schedule(s).violation_keys`` for any schedule
+    whose frame reaches full steady state (the property suite pins this).
+    """
+
+    schedule: PipelineSchedule
+    method: str  # "reserved-table" | "event-walk"
+    rows_analyzed: int
+    phases_checked: int
+    violations: list[LegalityViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def keys(self) -> set[tuple[str, str, str | None]]:
+        return {violation.key for violation in self.violations}
+
+    def to_payload(self) -> dict:
+        """JSON-safe form (the verify service's cache/wire unit)."""
+        return {
+            "passed": self.ok,
+            "method": self.method,
+            "rows_analyzed": self.rows_analyzed,
+            "phases_checked": self.phases_checked,
+            "violations": [
+                {
+                    "rule": v.rule,
+                    "producer": v.producer,
+                    "consumer": v.consumer,
+                    "message": v.message,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+def check_schedule_legality(
+    schedule: PipelineSchedule, *, max_rows: int | None = None
+) -> LegalityReport:
+    """Check R1/R2/R3 legality without walking cycles.
+
+    Exploits the periodicity of line-buffer access: with stage starts
+    ``S`` and image width ``W``, causality (R1) and eviction (R2) reduce to
+    closed-form inequalities on start-cycle deltas, and port pressure (R3)
+    repeats with period ``lines`` rows x ``W`` columns, collapsing further to
+    ``lines`` row phases x one column segment per distinct start-delta
+    remainder.  Total cost is O(lines x accessors x segments) per buffer —
+    the reserved-table/II formulation — instead of the event walk's
+    O(cycles x accessors).
+
+    The table models *full steady state* (every accessor of a buffer active
+    simultaneously, no frame-edge clamping); boundary cycles only ever access
+    subsets of some steady-state phase, so the two checkers flag the same
+    rule set whenever the frame is tall enough to reach steady state.  When
+    it is not (a start delta comparable to the whole frame), this function
+    falls back to the event walk and says so via ``method``.
+    """
+    width = schedule.image_width
+    dag = schedule.dag
+    starts = schedule.start_cycles
+    # Unlike the event walk, analysis cost does not grow with the frame, so
+    # default to the full image height (widest steady-state window); pass
+    # ``max_rows`` only to mirror a bounded event walk for comparison.
+    rows = schedule.image_height if max_rows is None else _analysis_rows(schedule, max_rows)
+
+    violations: list[LegalityViolation] = []
+    phases_checked = 0
+
+    for producer, config in schedule.line_buffers.items():
+        if config.lines == 0 or config.style == "fifo":
+            # Sub-line DFFs have no SRAM blocks; FIFO chains pop/push every
+            # block each cycle by construction.  Neither is rule-checked,
+            # matching the event walk.
+            continue
+        lines = config.lines
+        factor = max(1, config.coalesce_factor)
+        ports = config.spec.ports
+        writer_start = starts[producer]
+        readers = [(edge.consumer, edge.window.height) for edge in dag.out_edges(producer)]
+
+        # --- R1 / R2: closed forms over start-cycle deltas -----------------
+        for consumer, height in readers:
+            delta = starts[consumer] - writer_start
+            # R1: reading line row+k at cycle t needs the pixel produced
+            # strictly earlier; produced_at >= t iff k*W >= delta.  The
+            # smallest violating tap is k_v = ceil(delta / W).
+            k_violating = max(0, -(-delta // width))
+            if k_violating <= height - 1 and k_violating <= rows - 1:
+                violations.append(
+                    LegalityViolation(
+                        "R1",
+                        producer,
+                        consumer,
+                        f"R1: {consumer} starts {delta} cycles after {producer} but reads "
+                        f"stencil line +{k_violating}, produced {k_violating * width - delta} "
+                        "cycles too late",
+                    )
+                )
+            # R2: overwriting slot (line - lines) collides with the last
+            # read of the evicted line iff delta >= lines*W; only reachable
+            # when the frame wraps the buffer (rows > lines).
+            if rows > lines and delta >= lines * width:
+                violations.append(
+                    LegalityViolation(
+                        "R2",
+                        producer,
+                        consumer,
+                        f"R2: {consumer} lags {producer} by {delta} cycles but LB[{producer}] "
+                        f"holds only {lines} line(s) = {lines * width} cycles",
+                    )
+                )
+
+        # --- R3: periodic reserved table -----------------------------------
+        # Accessor taps are identified by (line offset from the writer's
+        # current line, start-delta remainder r); equal pairs share one
+        # physical address (broadcast), distinct pairs per block per cycle
+        # must not exceed the port count.  The pattern depends only on the
+        # writer's row phase (mod lines) and which side of each remainder
+        # breakpoint the writer's column is on.
+        entries = []
+        window_lo, window_hi = 0, rows - 1
+        for consumer, height in readers:
+            quotient, remainder = divmod(starts[consumer] - writer_start, width)
+            entries.append((quotient, remainder, height, consumer))
+            window_lo = max(window_lo, quotient + 1)
+            window_hi = min(window_hi, rows - height + quotient)
+        if window_hi - window_lo + 1 < lines:
+            # Frame too short for every row phase to reach full steady
+            # state: the closed table cannot be trusted, so defer the whole
+            # schedule to the exact event walk.
+            return _legality_from_event_walk(schedule, rows)
+
+        breakpoints = sorted({0, *(remainder for _, remainder, _, _ in entries)})
+        oversubscribed = False
+        for row_phase in range(window_lo, window_lo + lines):
+            if oversubscribed:
+                break
+            for column in breakpoints:
+                phases_checked += 1
+                per_block: dict[int, set[tuple[int, int]]] = {}
+                per_block.setdefault((row_phase % lines) // factor, set()).add((0, 0))
+                for quotient, remainder, height, _consumer in entries:
+                    base = -quotient - (1 if column < remainder else 0)
+                    for k in range(height):
+                        line = row_phase + base + k
+                        if not 0 <= line < rows:
+                            continue
+                        block = (line % lines) // factor
+                        per_block.setdefault(block, set()).add((base + k, remainder))
+                for block, pairs in per_block.items():
+                    if len(pairs) > ports:
+                        violations.append(
+                            LegalityViolation(
+                                "R3",
+                                producer,
+                                None,
+                                f"R3: block {block} of LB[{producer}] receives {len(pairs)} "
+                                f"distinct accesses in row phase {row_phase % lines} column "
+                                f"segment {column} but has {ports} port(s)",
+                            )
+                        )
+                        oversubscribed = True
+                        break
+                if oversubscribed:
+                    break
+
+    return LegalityReport(
+        schedule=schedule,
+        method="reserved-table",
+        rows_analyzed=rows,
+        phases_checked=phases_checked,
+        violations=violations,
+    )
+
+
+def _legality_from_event_walk(schedule: PipelineSchedule, rows: int) -> LegalityReport:
+    """Exact fallback: run the event walk and lift its violations to rule keys."""
+    report = simulate_schedule(schedule, max_rows=rows, max_violations=1_000_000)
+    messages = {}
+    for message in report.violations:
+        rule = message.split(" ", 1)[0]
+        messages.setdefault(rule, message)
+    violations = [
+        LegalityViolation(rule, producer, consumer, messages.get(rule, f"{rule} violated"))
+        for rule, producer, consumer in sorted(
+            report.violation_keys, key=lambda key: (key[0], key[1], key[2] or "")
+        )
+    ]
+    return LegalityReport(
+        schedule=schedule,
+        method="event-walk",
+        rows_analyzed=report.rows_simulated,
+        phases_checked=report.cycles_simulated,
+        violations=violations,
+    )

@@ -45,9 +45,12 @@ def run_functional(
 ) -> FunctionalResult:
     """Execute every stage of ``dag`` over full images.
 
-    ``inputs`` maps input-stage names to 2-D arrays; a single array may be
-    passed when the pipeline has exactly one input stage.  Stages without an
-    expression (relay/virtual stages) forward their single producer unchanged.
+    ``inputs`` maps input-stage names to 2-D ``(height, width)`` arrays or 3-D
+    ``(frames, height, width)`` batches; a single array may be passed when the
+    pipeline has exactly one input stage.  Batched inputs evaluate every frame
+    in one vectorized pass (see :mod:`repro.sim.batch` for the replay front).
+    Stages without an expression (relay/virtual stages) forward their single
+    producer unchanged.
     """
     input_stages = dag.input_stages()
     if isinstance(inputs, np.ndarray):
@@ -62,8 +65,10 @@ def run_functional(
         if stage.name not in inputs:
             raise SimulationError(f"No input image supplied for input stage {stage.name!r}")
         image = np.asarray(inputs[stage.name], dtype=np.float64)
-        if image.ndim != 2:
-            raise SimulationError(f"Input image for {stage.name!r} must be 2-D")
+        if image.ndim not in (2, 3):
+            raise SimulationError(
+                f"Input image for {stage.name!r} must be 2-D (or a 3-D frame batch)"
+            )
         images[stage.name] = image
 
     shapes = {img.shape for img in images.values()}

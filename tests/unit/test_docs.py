@@ -39,6 +39,7 @@ def test_docs_tree_exists_with_required_pages():
         "observability.md",
         "serving.md",
         "tuning.md",
+        "verification.md",
         "wire-protocol.md",
     ):
         assert (REPO_ROOT / "docs" / page).exists(), f"docs/{page} is missing"

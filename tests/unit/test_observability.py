@@ -240,7 +240,7 @@ class TestGeneratedDocsTables:
     def _copy_docs(self, tmp_path: Path) -> Path:
         docs = tmp_path / "docs"
         docs.mkdir()
-        for name in ("serving.md", "observability.md"):
+        for name in ("serving.md", "observability.md", "verification.md", "wire-protocol.md"):
             shutil.copy(REPO_ROOT / "docs" / name, docs / name)
         return tmp_path
 

@@ -1,0 +1,138 @@
+"""Unit tests for the structured engine-internal event log."""
+
+import io
+import json
+
+import pytest
+
+from repro.api import CompileTarget
+from repro.service import CompileEngine, QueueFullError
+from repro.service.cache import DiskCacheStore, serialize_schedule
+from repro.service.events import EventLog, configure_event_log, get_event_log
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+
+@pytest.fixture
+def clean_default_log():
+    """Isolate each test from the process-wide ring and stream settings."""
+    log = get_event_log()
+    log.clear()
+    yield log
+    configure_event_log(enabled=False)
+    log.clear()
+
+
+class TestEventLog:
+    def test_ring_records_without_stream(self):
+        log = EventLog(enabled=False, clock=lambda: 1000.0)
+        log.emit("autoscaler.grow", executor="thread:auto", workers=3)
+        records = log.recent("autoscaler.grow")
+        assert records == [
+            {
+                "ts": 1000.0,
+                "event": "autoscaler.grow",
+                "identity": "",
+                "executor": "thread:auto",
+                "workers": 3,
+            }
+        ]
+        assert log.emitted_total == 1
+
+    def test_stream_gets_json_lines_when_enabled(self):
+        stream = io.StringIO()
+        log = EventLog(stream, enabled=True)
+        log.emit("queue.shed", identity="alice", fingerprint="abc123", retry_after=0.5)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "queue.shed"
+        assert record["identity"] == "alice"
+        assert record["fingerprint"] == "abc123"
+        assert record["retry_after"] == 0.5
+
+    def test_disabled_log_writes_nothing(self):
+        stream = io.StringIO()
+        log = EventLog(stream, enabled=False)
+        log.emit("cache.gc", evicted=2, remaining_bytes=0, directory="/tmp/x")
+        assert stream.getvalue() == ""
+        assert len(log.recent()) == 1
+
+    def test_fingerprint_omitted_when_empty(self):
+        log = EventLog(enabled=False)
+        record = log.emit("autoscaler.shrink", executor="thread:auto", workers=1)
+        assert "fingerprint" not in record
+
+    def test_ring_is_bounded(self):
+        log = EventLog(enabled=False, ring_size=4)
+        for index in range(10):
+            log.emit("e", index=index)
+        records = log.recent()
+        assert len(records) == 4
+        assert records[0]["index"] == 6
+
+    def test_recent_filters_by_event(self):
+        log = EventLog(enabled=False)
+        log.emit("a")
+        log.emit("b")
+        assert [r["event"] for r in log.recent("b")] == ["b"]
+
+    def test_configure_default_log(self, clean_default_log):
+        stream = io.StringIO()
+        log = configure_event_log(enabled=True, stream=stream)
+        assert log is get_event_log()
+        log.emit("cache.gc", evicted=0, remaining_bytes=10, directory="d")
+        assert json.loads(stream.getvalue())["event"] == "cache.gc"
+
+
+class TestEngineEventWiring:
+    def test_autoscaler_emits_grow_events(self, clean_default_log):
+        engine = CompileEngine(workers=2, executor="thread:auto")
+        try:
+            # Batch fan-out is what exercises the executor (single submits on
+            # in-process backends run on the calling thread).
+            targets = [
+                CompileTarget(build_chain(n), image_width=W, image_height=H)
+                for n in (2, 3)
+            ]
+            engine.submit_batch(targets)
+        finally:
+            engine.shutdown()
+        events = clean_default_log.recent("autoscaler.grow")
+        assert events
+        assert events[0]["executor"] == "thread:auto"
+        assert events[0]["workers"] >= 1
+
+    def test_queue_shed_emits_event(self, clean_default_log):
+        from concurrent.futures import Future
+
+        engine = CompileEngine(workers=1, executor="thread", max_pending=1, overflow="shed")
+        # Play the executor's role: occupy the single dispatch slot with a
+        # never-settling future, and fill the one queue slot behind it.
+        hog: Future = Future()
+        hog.set_running_or_notify_cancel()
+        engine._admission.submit(lambda: hog, client="hog")
+        engine._admission.submit(lambda: Future(), client="hog")
+        target = CompileTarget(build_chain(2), image_width=W, image_height=H)
+        with pytest.raises(QueueFullError):
+            engine.submit(target, client="alice")
+        events = clean_default_log.recent("queue.shed")
+        hog.set_result(None)
+        engine.shutdown()
+        assert events
+        assert events[-1]["identity"] == "alice"
+        assert events[-1]["retry_after"] >= 0
+
+    def test_cache_gc_emits_event(self, clean_default_log, tmp_path):
+        from repro.core.compiler import compile_pipeline
+
+        store = DiskCacheStore(tmp_path, max_bytes=1)  # everything is over budget
+        schedule = compile_pipeline(
+            build_chain(2), image_width=W, image_height=H
+        ).schedule
+        store.save("fp-old", serialize_schedule(schedule))
+        store.save("fp-new", serialize_schedule(schedule))
+        events = clean_default_log.recent("cache.gc")
+        assert events
+        assert events[-1]["directory"] == str(tmp_path)
+        assert events[-1]["evicted"] >= 1

@@ -1,0 +1,359 @@
+"""Unit tests for verification-as-a-service (VerifyEngine + POST /v1/verify)."""
+
+import threading
+
+import pytest
+
+from repro.algorithms import ALGORITHM_NAMES, build_algorithm
+from repro.api import CompileTarget
+from repro.baselines import BASELINE_NAMES
+from repro.errors import SimulationError
+from repro.service import (
+    CompileEngine,
+    QueueFullError,
+    ServiceClient,
+    ServiceError,
+    VerifyEngine,
+    VerifyRequest,
+    start_server,
+    verify_fingerprint,
+    verify_request_from_wire,
+    verify_request_to_wire,
+    verify_result_to_wire,
+)
+from repro.service.wire import WireFormatError
+
+from tests.conftest import TEST_HEIGHT, TEST_WIDTH, build_chain
+
+W, H = TEST_WIDTH, TEST_HEIGHT
+
+ALL_GENERATORS = ("imagen",) + BASELINE_NAMES
+
+
+@pytest.fixture
+def engines(tmp_path):
+    engine = CompileEngine(workers=2, executor="thread", cache_dir=tmp_path / "cache")
+    verify = VerifyEngine(engine)
+    yield engine, verify
+    engine.shutdown()
+
+
+def _target(name="unsharp-m", generator="imagen"):
+    return CompileTarget(
+        build_algorithm(name), image_width=W, image_height=H, generator=generator
+    )
+
+
+class TestGoldenRoundTrip:
+    """Acceptance: every catalog algorithm, under every generator, replays
+    bit-identically through the compiled DAG."""
+
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    @pytest.mark.parametrize("generator", ALL_GENERATORS)
+    def test_catalog_algorithm_verifies(self, engines, name, generator):
+        _, verify = engines
+        result = verify.submit(
+            VerifyRequest(target=_target(name, generator), check="golden", frames=1)
+        )
+        assert result.ok
+        assert result.passed, result.failure_summary()
+        assert result.golden["max_abs_error"] == 0.0
+        assert len(result.golden["digest"]) == 64
+
+    def test_both_checks_pass_on_compiled_design(self, engines):
+        _, verify = engines
+        result = verify.submit(VerifyRequest(target=_target()))
+        assert result.passed
+        assert result.golden["passed"] is True
+        assert result.cycle["passed"] is True
+        assert result.cycle["method"] == "reserved-table"
+
+    def test_generator_rewrites_share_the_reference_digest(self, engines):
+        """Baseline rewrites (relays, linearization) must not change pixels."""
+        _, verify = engines
+        digests = set()
+        for generator in ALL_GENERATORS:
+            result = verify.submit(
+                VerifyRequest(target=_target("harris-s", generator), check="golden")
+            )
+            assert result.passed
+            digests.add(result.golden["digest"])
+        assert len(digests) == 1
+
+    def test_expected_digest_pins_the_verdict(self, engines):
+        _, verify = engines
+        first = verify.submit(VerifyRequest(target=_target(), check="golden"))
+        pinned = verify.submit(
+            VerifyRequest(
+                target=_target(),
+                check="golden",
+                expected_digest=first.golden["digest"],
+            )
+        )
+        assert pinned.passed
+        wrong = verify.submit(
+            VerifyRequest(target=_target(), check="golden", expected_digest="0" * 64)
+        )
+        assert wrong.ok
+        assert not wrong.passed
+        assert "digest mismatch" in wrong.failure_summary()
+
+
+class TestVerifyCaching:
+    def test_warm_verify_is_a_memory_hit(self, engines):
+        _, verify = engines
+        request = VerifyRequest(target=_target())
+        cold = verify.submit(request)
+        warm = verify.submit(request)
+        assert cold.source == "verified"
+        assert warm.source == "memory"
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.passed == cold.passed
+
+    def test_fresh_engine_hits_the_disk_tier(self, tmp_path):
+        engine = CompileEngine(workers=2, executor="thread", cache_dir=tmp_path / "c")
+        try:
+            VerifyEngine(engine).submit(VerifyRequest(target=_target()))
+        finally:
+            engine.shutdown()
+        engine2 = CompileEngine(workers=2, executor="thread", cache_dir=tmp_path / "c")
+        try:
+            warm = VerifyEngine(engine2).submit(VerifyRequest(target=_target()))
+            assert warm.source == "disk"
+        finally:
+            engine2.shutdown()
+
+    def test_fingerprint_depends_on_input_spec(self):
+        base = VerifyRequest(target=_target())
+        assert verify_fingerprint(base) == base.fingerprint
+        assert base.fingerprint != VerifyRequest(target=_target(), frames=3).fingerprint
+        assert base.fingerprint != VerifyRequest(target=_target(), seed=1).fingerprint
+        assert base.fingerprint != VerifyRequest(target=_target(), check="cycle").fingerprint
+        # strict changes delivery (raise vs report), not the computation:
+        # strict and lax share one cached verdict.
+        assert base.fingerprint == VerifyRequest(target=_target(), strict=True).fingerprint
+
+    def test_concurrent_identical_requests_deduplicate(self, engines):
+        _, verify = engines
+        request = VerifyRequest(target=_target("canny-s"))
+        results = [None] * 4
+        def run(index):
+            results[index] = verify.submit(request)
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sources = sorted(result.source for result in results)
+        assert sources.count("verified") == 1
+        assert all(result.passed for result in results)
+        assert verify.stats()["deduplicated"] + verify.stats()["served_from_memory"] == 3
+
+
+class TestVerifyAdmission:
+    def test_bounded_queue_sheds_with_retry_after(self, tmp_path):
+        engine = CompileEngine(workers=1, executor="thread")
+        verify = VerifyEngine(engine, max_pending=1)
+        release = threading.Event()
+        started = threading.Event()
+
+        # Occupy the single verify dispatch slot with a stalled execution.
+        original = verify._execute
+        def stalled(request, fingerprint, client):
+            started.set()
+            release.wait(30)
+            return original(request, fingerprint, client)
+        verify._execute = stalled
+        try:
+            hog = threading.Thread(
+                target=verify.submit, args=(VerifyRequest(target=_target()),)
+            )
+            hog.start()
+            assert started.wait(10)
+            # Slot busy; one more fills the queue, a third is shed.
+            t2 = threading.Thread(
+                target=lambda: _swallow(
+                    verify, VerifyRequest(target=_target("canny-s"))
+                )
+            )
+            t2.start()
+            deadline = 50
+            while verify.admission_stats()["queue_depth"] < 1 and deadline:
+                deadline -= 1
+                threading.Event().wait(0.1)
+            with pytest.raises(QueueFullError) as info:
+                verify.submit(VerifyRequest(target=_target("harris-s")), client="x")
+            assert info.value.retry_after >= 0
+            assert verify.stats()["rejected"] == 1
+        finally:
+            release.set()
+            hog.join()
+            t2.join()
+            engine.shutdown()
+
+    def test_strict_failure_raises_simulation_error(self, engines):
+        _, verify = engines
+        with pytest.raises(SimulationError):
+            verify.submit(
+                VerifyRequest(
+                    target=_target(),
+                    check="golden",
+                    expected_digest="0" * 64,
+                    strict=True,
+                )
+            )
+
+
+def _swallow(verify, request):
+    try:
+        verify.submit(request)
+    except Exception:
+        pass
+
+
+class TestVerifySpans:
+    def test_spans_feed_the_engine_stage_histograms(self, engines):
+        engine, verify = engines
+        verify.submit(VerifyRequest(target=_target()))
+        histograms = engine.metrics.stage_histograms()
+        assert histograms["verify"]["count"] >= 1
+        assert histograms["verify_golden"]["count"] >= 1
+        assert histograms["verify_cycle"]["count"] >= 1
+
+    def test_result_carries_span_tree(self, engines):
+        _, verify = engines
+        result = verify.submit(VerifyRequest(target=_target()))
+        names = [span.name for span in result.spans]
+        assert names == ["verify"]
+        children = [span.name for span in result.spans[0].children]
+        assert "verify_golden" in children
+        assert "verify_cycle" in children
+
+
+class TestVerifyWire:
+    def test_request_round_trips(self):
+        request = VerifyRequest(
+            target=_target(), check="golden", frames=3, seed=9, tolerance=0.5,
+            expected_digest="a" * 64, strict=True,
+        )
+        decoded = verify_request_from_wire(verify_request_to_wire(request))
+        # Target equality is fingerprint equality (DAG objects differ after a
+        # wire round trip); everything else must survive verbatim.
+        assert decoded.fingerprint == request.fingerprint
+        assert decoded.target.fingerprint == request.target.fingerprint
+        assert (decoded.check, decoded.frames, decoded.seed) == ("golden", 3, 9)
+        assert (decoded.tolerance, decoded.expected_digest, decoded.strict) == (
+            0.5, "a" * 64, True,
+        )
+
+    def test_defaults_are_omitted_on_the_wire(self):
+        payload = verify_request_to_wire(VerifyRequest(target=_target()))
+        assert set(payload) == {"version", "target", "check"}
+
+    def test_unknown_field_rejected(self):
+        payload = verify_request_to_wire(VerifyRequest(target=_target()))
+        payload["surprise"] = 1
+        with pytest.raises(WireFormatError, match="surprise"):
+            verify_request_from_wire(payload)
+
+    def test_version_mismatch_rejected(self):
+        payload = verify_request_to_wire(VerifyRequest(target=_target()))
+        payload["version"] = 999
+        with pytest.raises(WireFormatError, match="version"):
+            verify_request_from_wire(payload)
+
+    def test_bad_check_kind_rejected(self):
+        payload = verify_request_to_wire(VerifyRequest(target=_target()))
+        payload["check"] = "vibes"
+        with pytest.raises(WireFormatError):
+            verify_request_from_wire(payload)
+
+    def test_result_to_wire_shape(self, engines):
+        _, verify = engines
+        result = verify.submit(VerifyRequest(target=_target()))
+        body = verify_result_to_wire(result)
+        assert body["ok"] is True
+        assert body["passed"] is True
+        assert body["check"] == "both"
+        assert body["fingerprint"] == result.fingerprint
+        assert body["compile_fingerprint"] == result.compile_fingerprint
+        assert "spans" not in body
+        assert "error" not in body
+        traced = verify_result_to_wire(result, include_spans=True)
+        assert traced["spans"]
+
+
+class TestVerifyHTTP:
+    @pytest.fixture
+    def service(self, tmp_path):
+        engine = CompileEngine(workers=2, executor="thread", cache_dir=tmp_path / "cache")
+        server = start_server(engine)
+        yield ServiceClient(port=server.port), engine, server
+        server.stop()
+        engine.shutdown()
+
+    def test_verify_round_trip(self, service):
+        client, engine, server = service
+        target = _target()
+        remote = client.verify(target)
+        assert remote["ok"] is True
+        assert remote["passed"] is True
+        in_process = server.verify_engine.submit(VerifyRequest(target=target))
+        assert remote["fingerprint"] == in_process.fingerprint
+        assert remote["compile_fingerprint"] == target.fingerprint
+
+    def test_warm_verify_reports_cache_source(self, service):
+        client, _, _ = service
+        target = _target("canny-s")
+        first = client.verify(target)
+        second = client.verify(target)
+        assert first["source"] == "verified"
+        assert second["source"] in ("memory", "disk")
+
+    def test_trace_flag_returns_spans(self, service):
+        client, _, _ = service
+        body = client.verify(_target("harris-s"), check="cycle", trace=True)
+        assert body["spans"][0]["name"] == "verify"
+
+    def test_strict_failure_is_typed_422(self, service):
+        """Acceptance: a SimulationError surfaces as 422 verify-failed, not 500."""
+        client, _, _ = service
+        with pytest.raises(ServiceError) as info:
+            client.verify(_target(), expected_digest="0" * 64, strict=True)
+        assert info.value.status == 422
+        assert info.value.body["reason"] == "verify-failed"
+        assert "mismatch" in info.value.body["error"]
+
+    def test_lax_failure_is_200_with_passed_false(self, service):
+        client, _, _ = service
+        body = client.verify(_target(), check="golden", expected_digest="0" * 64)
+        assert body["ok"] is True
+        assert body["passed"] is False
+
+    def test_malformed_request_is_400(self, service):
+        client, _, server = service
+        import http.client, json
+
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            connection.request(
+                "POST",
+                "/v1/verify",
+                body=json.dumps({"version": 1, "check": "golden"}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "error" in json.loads(response.read().decode("utf-8"))
+        finally:
+            connection.close()
+
+    def test_metrics_carry_verify_counters(self, service):
+        client, _, _ = service
+        client.verify(_target())
+        metrics = client.metrics()
+        assert metrics["verify_requests"] >= 1
+        assert metrics["verify_passed"] >= 1
+        exposition = client.metrics_prometheus()
+        assert "repro_verify_requests_total" in exposition
+        assert 'repro_stage_seconds_bucket{stage="verify"' in exposition

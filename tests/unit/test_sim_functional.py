@@ -72,9 +72,10 @@ class TestFunctionalErrors:
             run_functional(dag, {})
 
     def test_wrong_dimensionality(self):
+        # 3-D is a legal (frames, height, width) batch now; 4-D is not.
         dag = build_chain(2)
         with pytest.raises(SimulationError):
-            run_functional(dag, {"K0": np.zeros((4, 4, 3))})
+            run_functional(dag, {"K0": np.zeros((2, 4, 4, 3))})
 
     def test_mismatched_shapes(self, small_image):
         builder = PipelineBuilder("two-in")

@@ -30,6 +30,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.service.http import build_parser as build_http_parser  # noqa: E402
 from repro.service.observability import METRIC_SPECS  # noqa: E402
+from repro.service.verify import CHECK_KINDS, VERIFY_REQUEST_FIELDS  # noqa: E402
 
 
 def _cell(text: str) -> str:
@@ -117,12 +118,46 @@ def render_cli_table() -> str:
     return _table(["Flag", "Value", "Default", "What it does"], rows)
 
 
+def render_verify_check_kinds() -> str:
+    """The ``POST /v1/verify`` check-kind table, from the live registry."""
+    return _table(
+        ["Check", "What it proves"],
+        [[f"`{kind}`", help_text] for kind, help_text in CHECK_KINDS.items()],
+    )
+
+
+def render_verify_request_fields() -> str:
+    """The verify request payload's optional fields, from the field registry."""
+    return _table(
+        ["Field", "Type", "Default", "Meaning"],
+        [
+            [f"`{name}`", type_name, f"`{default}`", meaning]
+            for name, type_name, default, meaning in VERIFY_REQUEST_FIELDS
+        ],
+    )
+
+
+def render_verify_metrics_table() -> str:
+    """The ``verify_*`` key family of ``GET /v1/metrics``."""
+    return _table(
+        ["Key", "Kind", "Unit", "Prometheus sample", "Meaning"],
+        [
+            row
+            for row in _metric_rows("/v1/metrics")
+            if row[0].startswith("`verify_")
+        ],
+    )
+
+
 #: region name -> (relative file, renderer)
 REGIONS: dict[str, tuple[str, callable]] = {
     "metrics-table": ("docs/serving.md", render_metrics_table),
     "cache-stats-table": ("docs/serving.md", render_cache_stats_table),
     "cli-table": ("docs/serving.md", render_cli_table),
     "prometheus-table": ("docs/observability.md", render_prometheus_table),
+    "verify-check-kinds": ("docs/verification.md", render_verify_check_kinds),
+    "verify-metrics-table": ("docs/verification.md", render_verify_metrics_table),
+    "verify-request-fields": ("docs/wire-protocol.md", render_verify_request_fields),
 }
 
 
