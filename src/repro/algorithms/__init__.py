@@ -2,6 +2,7 @@
 
 from repro.algorithms.catalog import (
     ALGORITHM_NAMES,
+    TEMPORAL_ALGORITHM_NAMES,
     AlgorithmInfo,
     algorithm_info,
     algorithm_names,
@@ -16,9 +17,11 @@ from repro.algorithms.unsharp import build_unsharp_m
 from repro.algorithms.xcorr import build_xcorr_m
 from repro.algorithms.denoise import build_denoise_m
 from repro.algorithms.synthetic import build_synthetic_pipeline
+from repro.algorithms.temporal import build_frame_diff_m, build_temporal_denoise_m
 
 __all__ = [
     "ALGORITHM_NAMES",
+    "TEMPORAL_ALGORITHM_NAMES",
     "AlgorithmInfo",
     "algorithm_info",
     "algorithm_names",
@@ -34,4 +37,6 @@ __all__ = [
     "build_xcorr_m",
     "build_denoise_m",
     "build_synthetic_pipeline",
+    "build_temporal_denoise_m",
+    "build_frame_diff_m",
 ]

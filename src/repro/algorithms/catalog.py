@@ -8,6 +8,7 @@ from typing import Callable
 from repro.algorithms.canny import build_canny_m, build_canny_s
 from repro.algorithms.denoise import build_denoise_m
 from repro.algorithms.harris import build_harris_m, build_harris_s
+from repro.algorithms.temporal import build_frame_diff_m, build_temporal_denoise_m
 from repro.algorithms.unsharp import build_unsharp_m
 from repro.algorithms.xcorr import build_xcorr_m
 from repro.errors import ReproError
@@ -47,6 +48,36 @@ _CATALOG: dict[str, AlgorithmInfo] = {
 #: benchmark suite that iterates this tuple.
 ALGORITHM_NAMES: tuple[str, ...] = tuple(_CATALOG)
 
+# Temporal extension suite: in the live catalog (buildable/compilable by
+# name), but added after the freeze so the paper's Table 3 stays spatial-only.
+_CATALOG.update(
+    {
+        info.name: info
+        for info in (
+            AlgorithmInfo(
+                "temporal-denoise-m",
+                "Spatio-temporal denoise (3-frame average)",
+                build_temporal_denoise_m,
+                4,
+                1,
+            ),
+            AlgorithmInfo(
+                "frame-diff-m",
+                "Frame differencing / motion mask",
+                build_frame_diff_m,
+                4,
+                1,
+            ),
+        )
+    }
+)
+
+#: Names of the temporal extension suite (mirrors
+#: :data:`repro.algorithms.temporal.TEMPORAL_ALGORITHM_NAMES`).
+TEMPORAL_ALGORITHM_NAMES: tuple[str, ...] = tuple(
+    name for name in _CATALOG if name not in ALGORITHM_NAMES
+)
+
 
 def algorithm_names() -> tuple[str, ...]:
     """Live view of every algorithm currently in the catalog."""
@@ -58,17 +89,21 @@ def register_algorithm(
     description: str,
     builder: Callable[[], PipelineDAG],
     *,
-    overwrite: bool = False,
+    replace: bool = False,
+    overwrite: bool | None = None,
 ) -> AlgorithmInfo:
     """Install a custom pipeline into the catalog.
 
     The builder is invoked once to validate the DAG and derive the stage
     counts recorded in the :class:`AlgorithmInfo` row.  Registering a name
-    that already exists raises :class:`ReproError` unless ``overwrite=True``.
+    that already exists raises :class:`ReproError` unless ``replace=True``
+    (``overwrite`` is accepted as a legacy alias).
     """
-    if not overwrite and name in _CATALOG:
+    if overwrite is not None:
+        replace = overwrite
+    if not replace and name in _CATALOG:
         raise ReproError(
-            f"Algorithm {name!r} is already registered; pass overwrite=True to replace it"
+            f"Algorithm {name!r} is already registered; pass replace=True to replace it"
         )
     dag = builder()
     dag.validated()

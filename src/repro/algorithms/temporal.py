@@ -1,0 +1,79 @@
+"""Temporal evaluation pipelines (video-rate extensions of the Table-3 suite).
+
+These two algorithms exercise the time axis end-to-end: their stencil windows
+carry a temporal extent, so every generator must provision whole-frame history
+buffers (:class:`repro.memory.linebuffer.FrameBufferConfig`) in addition to
+the usual line buffers.  They are registered in the live catalog at import —
+resolvable through :func:`repro.algorithms.build_algorithm` — but deliberately
+kept out of the frozen Table-3 suite (:data:`repro.algorithms.ALGORITHM_NAMES`
+and ``table3()``), which reproduces the paper's spatial-only evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.dsl import ast
+from repro.dsl.builder import PipelineBuilder, temporal_average
+from repro.ir.dag import PipelineDAG
+
+
+def build_temporal_denoise_m() -> PipelineDAG:
+    """Spatio-temporal denoise: 3x3 spatial smoothing + 3-frame averaging.
+
+    The smoothed stage is read by both the temporal accumulator and the final
+    blend (multi-consumer), and the accumulator reads it two frames into the
+    past — the deepest temporal edge in the suite.  Frame weights decay
+    geometrically (newest first), the shape of a truncated exponential
+    smoother.
+    """
+    builder = PipelineBuilder("temporal-denoise-m")
+    source = builder.input("T0")
+    blur = builder.stage(
+        "blur",
+        (
+            source(-1, -1) + source(0, -1) + source(1, -1)
+            + source(-1, 0) + source(0, 0) + source(1, 0)
+            + source(-1, 1) + source(0, 1) + source(1, 1)
+        )
+        / 9.0,
+    )
+    accum = builder.stage("accum", temporal_average(blur, 3, weights=(4.0, 2.0, 1.0)))
+    builder.output(
+        "blend",
+        ast.Call(
+            "select",
+            (
+                ast.Call("abs", (blur(0, 0) - accum(0, 0),)) > 24.0,
+                blur(0, 0),
+                accum(0, 0),
+            ),
+        ),
+    )
+    return builder.build()
+
+
+def build_frame_diff_m() -> PipelineDAG:
+    """Frame differencing / motion mask: |frame - previous frame| thresholded.
+
+    The input is read at the current frame and one frame back, and again by
+    the masking stage (multi-consumer on the input), the classic change-
+    detection front end.
+    """
+    builder = PipelineBuilder("frame-diff-m")
+    source = builder.input("T0")
+    diff = builder.stage("diff", ast.Call("abs", (source(0, 0) - source.prev(1),)))
+    motion = builder.stage(
+        "motion",
+        ast.Call("select", (diff(0, 0) > 16.0, ast.Const(1.0), ast.Const(0.0))),
+    )
+    builder.output(
+        "masked",
+        ast.Call(
+            "select",
+            (motion(0, 0) > 0.5, source(0, 0), source(0, 0) * 0.25),
+        ),
+    )
+    return builder.build()
+
+
+#: Temporal extension suite (not part of the frozen Table-3 tuple).
+TEMPORAL_ALGORITHM_NAMES: tuple[str, ...] = ("temporal-denoise-m", "frame-diff-m")

@@ -11,7 +11,10 @@ Normalization rules
 -------------------
 * The DAG is hashed through :meth:`repro.ir.dag.PipelineDAG.canonical_form`,
   which is invariant to stage/edge insertion order and to the pipeline's
-  display name.
+  display name.  Edge windows serialize as 4-element spatial quads; an edge
+  with temporal extent appends ``[min_dt, max_dt]`` for a 6-element form, so
+  purely spatial DAGs hash exactly as they did before the time axis existed
+  while any temporal read necessarily moves the digest.
 * ``SchedulerOptions.coalescing_policy`` and ``per_stage_coalescing`` only
   influence the schedule when ``coalescing`` is enabled, so they are dropped
   from the fingerprint when it is off.  This is what lets the all-DP design

@@ -105,6 +105,24 @@ def model_line_slots(max_delay: int, width: int) -> int:
     return math.ceil(max_delay / width)
 
 
+def frame_buffer_pixels(depth: int, image_width: int, image_height: int) -> int:
+    """Pixels a producer's frame buffer must retain for ``depth`` past frames.
+
+    Temporal consumers read the producer at frame offsets down to ``-depth``;
+    the temporal reuse distance of such a read is ``depth`` *whole frames*, so
+    unlike line buffers (which hold ``O(delay / W)`` lines) the frame buffer
+    must hold ``depth x H x W`` pixels.  The size is independent of start
+    cycles — frame history is carried across frame boundaries, not across the
+    raster scan — which is why frame buffers sit outside the ILP and are added
+    to the SRAM total as a constant.
+    """
+    if depth < 0:
+        raise ValueError(f"Frame-buffer depth cannot be negative, got {depth}")
+    if image_width < 1 or image_height < 1:
+        raise ValueError(f"Image extent must be positive, got {image_width}x{image_height}")
+    return depth * image_width * image_height
+
+
 def minimal_slot_count(
     width: int,
     ports: int,

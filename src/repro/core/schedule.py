@@ -7,7 +7,7 @@ from typing import Any
 
 from repro.errors import SchedulingError
 from repro.ir.dag import PipelineDAG
-from repro.memory.linebuffer import LineBufferConfig
+from repro.memory.linebuffer import FrameBufferConfig, LineBufferConfig
 from repro.memory.spec import MemorySpec
 
 
@@ -30,11 +30,25 @@ class PipelineSchedule:
     generator: str = "imagen"
     coalesce_factors: dict[str, int] = field(default_factory=dict)
     solver_stats: dict[str, Any] = field(default_factory=dict)
+    #: Whole-frame history buffers for temporal producers.  Left empty by
+    #: callers: frame buffers are a pure function of (dag, geometry, spec), so
+    #: ``__post_init__`` derives them uniformly for every generator and for
+    #: cache deserialization — no construction site can forget them.
+    frame_buffers: dict[str, FrameBufferConfig] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for name in self.dag.stage_names():
             if name not in self.start_cycles:
                 raise SchedulingError(f"Schedule is missing a start cycle for stage {name!r}")
+        if not self.frame_buffers and self.dag.is_temporal():
+            from repro.memory.allocator import derive_frame_buffers
+
+            self.frame_buffers = {
+                config.producer: config
+                for config in derive_frame_buffers(
+                    self.dag, self.image_width, self.image_height, self.memory_spec
+                )
+            }
 
     # --------------------------------------------------------------- timing
     def start(self, stage: str) -> int:
@@ -84,11 +98,23 @@ class PipelineSchedule:
 
     @property
     def total_blocks(self) -> int:
-        return sum(config.num_blocks for config in self.line_buffers.values())
+        """All SRAM blocks claimed: line buffers plus frame buffers."""
+        return (
+            sum(config.num_blocks for config in self.line_buffers.values())
+            + self.frame_buffer_blocks
+        )
 
     @property
     def total_allocated_bits(self) -> int:
-        return sum(config.allocated_bits for config in self.line_buffers.values())
+        """All SRAM bits claimed: line buffers plus frame buffers.
+
+        Purely spatial pipelines have no frame buffers, so these totals are
+        exactly what they were before the temporal refactor.
+        """
+        return (
+            sum(config.allocated_bits for config in self.line_buffers.values())
+            + self.frame_buffer_allocated_bits
+        )
 
     @property
     def total_allocated_kbytes(self) -> float:
@@ -96,7 +122,10 @@ class PipelineSchedule:
 
     @property
     def total_data_bits(self) -> int:
-        return sum(config.data_bits for config in self.line_buffers.values())
+        return (
+            sum(config.data_bits for config in self.line_buffers.values())
+            + sum(config.data_bits for config in self.frame_buffers.values())
+        )
 
     @property
     def total_data_kbytes(self) -> float:
@@ -105,6 +134,27 @@ class PipelineSchedule:
     @property
     def total_dff_pixels(self) -> int:
         return sum(config.dff_pixels for config in self.line_buffers.values())
+
+    # ------------------------------------------------------- frame buffers
+    @property
+    def is_temporal(self) -> bool:
+        return bool(self.frame_buffers)
+
+    @property
+    def frame_buffer_pixels(self) -> int:
+        return sum(config.pixel_capacity for config in self.frame_buffers.values())
+
+    @property
+    def frame_buffer_blocks(self) -> int:
+        return sum(config.num_blocks for config in self.frame_buffers.values())
+
+    @property
+    def frame_buffer_allocated_bits(self) -> int:
+        return sum(config.allocated_bits for config in self.frame_buffers.values())
+
+    @property
+    def frame_buffer_allocated_kbytes(self) -> float:
+        return self.frame_buffer_allocated_bits / 8192.0
 
     # --------------------------------------------------------------- report
     def describe(self) -> str:
@@ -116,7 +166,15 @@ class PipelineSchedule:
             start = self.start(name)
             buffer = self.line_buffers.get(name)
             extra = f", LB={buffer.lines} lines/{buffer.num_blocks} blocks" if buffer else ""
+            frame = self.frame_buffers.get(name)
+            if frame:
+                extra += f", FB={frame.depth} frame(s)/{frame.num_blocks} blocks"
             lines.append(f"  {name}: start={start}{extra}")
+        if self.frame_buffers:
+            lines.append(
+                f"  frame buffers: {self.frame_buffer_pixels} pixels, "
+                f"{self.frame_buffer_allocated_kbytes:.1f} KB allocated"
+            )
         lines.append(
             f"  total: {self.total_blocks} blocks, {self.total_allocated_kbytes:.1f} KB allocated, "
             f"{self.total_data_kbytes:.1f} KB data"

@@ -162,6 +162,15 @@ def schedule_pipeline(
     line_buffers = realize_line_buffers(
         dag, image_width, memory_spec, start_cycles, factors, ports
     )
+    if dag.is_temporal():
+        # Frame-buffer SRAM is start-cycle independent, so it never enters the
+        # ILP objective; record it in the stats so reports can show the split.
+        depths = dag.frame_depths()
+        solver_stats["frame_buffer_pixels"] = sum(
+            access.frame_buffer_pixels(depth, image_width, image_height)
+            for depth in depths.values()
+        )
+        solver_stats["frame_buffers"] = len(depths)
     generator = "imagen+lc" if options.coalescing else "imagen"
     return PipelineSchedule(
         dag=dag,
@@ -188,6 +197,13 @@ def _effective_factors(
     if not options.coalescing:
         return {name: 1 for name in dag.stage_names()}
     factors = coalescing_factors(dag, image_width, memory_spec)
+    # Producers with temporal consumers are never coalesced (any policy): their
+    # history lives in a frame buffer behind the line-buffer fabric, and the
+    # coalescing rewrite (virtual readers via from_extent) is frame-oblivious —
+    # it would silently drop the dt extent from the split windows.
+    for edge in dag.edges():
+        if edge.is_temporal:
+            factors[edge.producer] = 1
     if options.coalescing_policy == "auto":
         # Coalescing only pays off where packing lines actually removes blocks:
         # multi-consumer buffers need extra consumer separation (which inflates

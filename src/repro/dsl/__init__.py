@@ -20,7 +20,12 @@ from repro.dsl.ast import (
     stencil_windows,
 )
 from repro.dsl.parser import parse_pipeline
-from repro.dsl.builder import PipelineBuilder, StageHandle
+from repro.dsl.builder import (
+    PipelineBuilder,
+    StageHandle,
+    frame_difference,
+    temporal_average,
+)
 
 __all__ = [
     "Expr",
@@ -35,4 +40,6 @@ __all__ = [
     "parse_pipeline",
     "PipelineBuilder",
     "StageHandle",
+    "frame_difference",
+    "temporal_average",
 ]

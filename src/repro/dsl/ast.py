@@ -98,14 +98,24 @@ class Const(Expr):
 
 @dataclass(frozen=True)
 class StageRef(Expr):
-    """A read of producer ``stage`` at constant offset ``(dx, dy)``."""
+    """A read of producer ``stage`` at constant offset ``(dx, dy)``.
+
+    The optional frame offset ``dt`` (``0`` = current frame, ``-1`` = the
+    previous frame) makes the reference temporal.  ``dt`` must be ``<= 0``
+    for a causal pipeline — enforced at DAG validation, not here.
+    """
 
     stage: str
     dx: int = 0
     dy: int = 0
+    dt: int = 0
 
     def children(self) -> Sequence[Expr]:
         return ()
+
+    def prev(self, frames: int = 1) -> "StageRef":
+        """The same read shifted ``frames`` frames into the past."""
+        return StageRef(self.stage, self.dx, self.dy, self.dt - frames)
 
     def __str__(self) -> str:
         def fmt(base: str, off: int) -> str:
@@ -113,7 +123,11 @@ class StageRef(Expr):
                 return base
             return f"{base}{'+' if off > 0 else '-'}{abs(off)}"
 
-        return f"{self.stage}({fmt('x', self.dx)},{fmt('y', self.dy)})"
+        # Spatial references keep the historical 2-axis form so the canonical
+        # (str-based) serialization of 2-D pipelines stays byte-stable.
+        if self.dt == 0:
+            return f"{self.stage}({fmt('x', self.dx)},{fmt('y', self.dy)})"
+        return f"{self.stage}({fmt('x', self.dx)},{fmt('y', self.dy)},{fmt('t', self.dt)})"
 
 
 @dataclass(frozen=True)
@@ -210,30 +224,54 @@ def references_by_stage(expr: Expr) -> dict[str, list[StageRef]]:
 
 
 def stencil_windows(expr: Expr) -> dict[str, StencilWindow]:
-    """The stencil window read from each producer referenced by ``expr``."""
+    """The stencil window read from each producer referenced by ``expr``.
+
+    Temporal references (``dt != 0``) widen the window's frame extent; purely
+    spatial expressions produce the same windows they always did.
+    """
     windows: dict[str, StencilWindow] = {}
     for stage, refs in references_by_stage(expr).items():
-        window = StencilWindow(refs[0].dx, refs[0].dx, refs[0].dy, refs[0].dy)
+        window = _point_window(refs[0])
         for ref in refs[1:]:
-            window = window.union(StencilWindow(ref.dx, ref.dx, ref.dy, ref.dy))
+            window = window.union(_point_window(ref))
         windows[stage] = window
     return windows
+
+
+def _point_window(ref: StageRef) -> StencilWindow:
+    if ref.dt == 0:
+        return StencilWindow(ref.dx, ref.dx, ref.dy, ref.dy)
+    return StencilWindow(ref.dx, ref.dx, ref.dy, ref.dy, ref.dt, ref.dt)
 
 
 # ---------------------------------------------------------------------------
 # Functional evaluation over NumPy images
 # ---------------------------------------------------------------------------
-def _shifted(image: np.ndarray, dx: int, dy: int) -> np.ndarray:
-    """Return image sampled at (x+dx, y+dy) with edge-clamped borders.
+def _shifted(image: np.ndarray, dx: int, dy: int, dt: int = 0) -> np.ndarray:
+    """Return image sampled at (x+dx, y+dy) — and frame (t+dt) — edge-clamped.
 
-    Shifts the trailing two axes only, so a (frames, height, width) batch
-    evaluates all frames in one pass — the vectorized replay path of
-    ``repro.sim.batch`` relies on this.
+    Spatial offsets shift the trailing two axes only, so a
+    (frames, height, width) batch evaluates all frames in one pass — the
+    vectorized replay path of ``repro.sim.batch`` relies on this.  A temporal
+    offset shifts the third-from-last axis (the frame/time axis) with the
+    same clamping convention: before the first frame, the sequence is padded
+    by repeating frame 0 (the temporal analogue of edge-clamped borders).
     """
     height, width = image.shape[-2], image.shape[-1]
     ys = np.clip(np.arange(height) + dy, 0, height - 1)
     xs = np.clip(np.arange(width) + dx, 0, width - 1)
-    return image[..., ys[:, None], xs[None, :]]
+    shifted = image[..., ys[:, None], xs[None, :]]
+    if dt == 0:
+        return shifted
+    if image.ndim < 3:
+        raise DSLSemanticError(
+            f"Temporal reference (dt={dt}) needs a (frames, height, width) "
+            "sequence, got a single 2-D frame"
+        )
+    frames = image.shape[-3]
+    ts = np.clip(np.arange(frames) + dt, 0, frames - 1)
+    axis = image.ndim - 3
+    return np.take(shifted, ts, axis=axis)
 
 
 def evaluate(expr: Expr, images: Mapping[str, np.ndarray]) -> np.ndarray:
@@ -253,7 +291,9 @@ def evaluate(expr: Expr, images: Mapping[str, np.ndarray]) -> np.ndarray:
     if isinstance(expr, StageRef):
         if expr.stage not in images:
             raise DSLSemanticError(f"No image supplied for producer {expr.stage!r}")
-        return _shifted(np.asarray(images[expr.stage], dtype=np.float64), expr.dx, expr.dy)
+        return _shifted(
+            np.asarray(images[expr.stage], dtype=np.float64), expr.dx, expr.dy, expr.dt
+        )
     if isinstance(expr, UnaryOp):
         value = evaluate(expr.operand, images)
         return np.abs(value) if expr.op == "abs" else -value

@@ -29,12 +29,18 @@ class StageHandle:
         self._builder = builder
         self.name = name
 
-    def __call__(self, dx: int = 0, dy: int = 0) -> ast.StageRef:
-        """Reference this stage at offset ``(dx, dy)``."""
-        return ast.StageRef(self.name, dx, dy)
+    def __call__(self, dx: int = 0, dy: int = 0, dt: int = 0) -> ast.StageRef:
+        """Reference this stage at offset ``(dx, dy)``, optionally ``dt`` frames back."""
+        return ast.StageRef(self.name, dx, dy, dt)
 
-    def ref(self, dx: int = 0, dy: int = 0) -> ast.StageRef:
-        return self(dx, dy)
+    def ref(self, dx: int = 0, dy: int = 0, dt: int = 0) -> ast.StageRef:
+        return self(dx, dy, dt)
+
+    def prev(self, frames: int = 1) -> ast.StageRef:
+        """This stage at the same pixel ``frames`` frames in the past."""
+        if frames < 1:
+            raise DSLSemanticError(f"prev() frame count must be >= 1, got {frames}")
+        return ast.StageRef(self.name, 0, 0, -frames)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"StageHandle({self.name!r})"
@@ -161,3 +167,48 @@ def convolve(
     if normalize and total not in (0.0, 1.0):
         expr = expr / total
     return expr
+
+
+def temporal_average(
+    stage: StageHandle,
+    depth: int,
+    *,
+    weights: list[float] | None = None,
+) -> ast.Expr:
+    """Weighted average of ``stage`` over the current and ``depth - 1`` past frames.
+
+    With no ``weights``, a boxcar (uniform) average.  Pass explicit weights
+    (newest frame first) for e.g. a truncated-exponential temporal filter;
+    weights are normalised to sum to 1.
+    """
+    if depth < 1:
+        raise DSLSemanticError(f"Temporal average depth must be >= 1, got {depth}")
+    if weights is None:
+        weights = [1.0] * depth
+    if len(weights) != depth:
+        raise DSLSemanticError(
+            f"Temporal average expects {depth} weights (newest first), got {len(weights)}"
+        )
+    total = float(sum(weights))
+    if total == 0.0:
+        raise DSLSemanticError("Temporal average weights sum to zero")
+    terms: list[ast.Expr] = []
+    for frames_back, weight in enumerate(weights):
+        scale = float(weight) / total
+        if scale == 0.0:
+            continue
+        ref = stage(0, 0, -frames_back)
+        terms.append(ref if scale == 1.0 else ref * scale)
+    if not terms:
+        raise DSLSemanticError("Temporal average weights are all zero")
+    expr: ast.Expr = terms[0]
+    for term in terms[1:]:
+        expr = expr + term
+    return expr
+
+
+def frame_difference(stage: StageHandle, frames: int = 1) -> ast.Expr:
+    """Absolute difference between the current frame and ``frames`` frames ago."""
+    if frames < 1:
+        raise DSLSemanticError(f"Frame difference distance must be >= 1, got {frames}")
+    return ast.Call("abs", (stage(0, 0) - stage(0, 0, -frames),))

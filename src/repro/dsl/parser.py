@@ -4,18 +4,26 @@ Grammar (EBNF)::
 
     program    := statement+
     statement  := "input" NAME ";"
-                | ["output"] NAME "=" "im" "(" NAME "," NAME ")" expr "end" [";"]
+                | ["output"] NAME "=" "im" "(" NAME "," NAME ["," NAME] ")"
+                  expr "end" [";"]
     expr       := comparison
     comparison := additive (("<"|">"|"<="|">="|"=="|"!=") additive)?
     additive   := term (("+"|"-") term)*
     term       := factor (("*"|"/"|"//") factor)*
-    factor     := NUMBER | "-" factor | "(" expr ")" | call | reference
+    factor     := NUMBER | "-" factor | "(" expr ")" | call | reference | prev
     call       := NAME "(" expr ("," expr)* ")"       (for intrinsic names)
-    reference  := NAME "(" offset "," offset ")"
-    offset     := (XVAR|YVAR) (("+"|"-") NUMBER)? | ("-")? NUMBER
+    reference  := NAME "(" offset "," offset ["," offset] ")"
+    prev       := "prev" "(" NAME ["," NUMBER] ")"
+    offset     := (XVAR|YVAR|TVAR) (("+"|"-") NUMBER)? | ("-")? NUMBER
 
 The parser produces a validated :class:`repro.ir.dag.PipelineDAG` whose edges
 carry stencil windows derived from the reference offsets.
+
+Temporal pipelines declare a third loop variable in the ``im`` header —
+``im(x, y, t)`` — and may then give references a third (frame) offset,
+``K0(x-1, y, t-1)``.  ``prev(K0)`` / ``prev(K0, n)`` is shorthand for the
+producer read at the same pixel ``n`` frames ago (``K0(x, y, t-n)``); it is
+accepted with or without the temporal header.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ class _Parser:
         self._name = name
         self._x_var = "x"
         self._y_var = "y"
+        self._t_var: str | None = None
         self._defined: list[str] = []
         self._inputs: set[str] = set()
         self._outputs: set[str] = set()
@@ -95,6 +104,9 @@ class _Parser:
         self._x_var = self._expect("name").value
         self._expect("symbol", ",")
         self._y_var = self._expect("name").value
+        self._t_var = None
+        if self._match("symbol", ","):
+            self._t_var = self._expect("name").value
         self._expect("symbol", ")")
         expression = self._expr()
         self._expect("keyword", "end")
@@ -176,11 +188,38 @@ class _Parser:
                 args.append(self._expr())
             self._expect("symbol", ")")
             return ast.Call(name, tuple(args))
+        if name == "prev" and name not in self._defined:
+            return self._prev_reference(name_token)
         dx = self._offset(self._x_var, name_token)
         self._expect("symbol", ",")
         dy = self._offset(self._y_var, name_token)
+        dt = 0
+        if self._match("symbol", ","):
+            if self._t_var is None:
+                raise DSLSyntaxError(
+                    "Frame offsets need a temporal im(x, y, t) header",
+                    name_token.line,
+                    name_token.column,
+                )
+            dt = self._offset(self._t_var, name_token)
         self._expect("symbol", ")")
-        return ast.StageRef(name, dx, dy)
+        return ast.StageRef(name, dx, dy, dt)
+
+    def _prev_reference(self, context: Token) -> ast.Expr:
+        """``prev(K0)`` / ``prev(K0, n)``: producer at the same pixel n frames ago."""
+        producer = self._expect("name").value
+        frames = 1
+        if self._match("symbol", ","):
+            number = self._expect("number")
+            frames = int(float(number.value))
+            if frames < 1:
+                raise DSLSyntaxError(
+                    f"prev() frame count must be >= 1, got {frames}",
+                    number.line,
+                    number.column,
+                )
+        self._expect("symbol", ")")
+        return ast.StageRef(producer, 0, 0, -frames)
 
     def _offset(self, axis_var: str, context: Token) -> int:
         token = self._peek()

@@ -29,11 +29,17 @@ class AreaReport:
 
     schedule: PipelineSchedule
     buffers: dict[str, BufferArea] = field(default_factory=dict)
+    #: Whole-frame history buffers of temporal pipelines (empty for 2-D ones).
+    frame_buffers: dict[str, BufferArea] = field(default_factory=dict)
     pe_mm2: float = 0.0
 
     @property
     def memory_mm2(self) -> float:
-        return sum(b.total_mm2 for b in self.buffers.values())
+        return sum(b.total_mm2 for b in self.buffers.values()) + self.frame_memory_mm2
+
+    @property
+    def frame_memory_mm2(self) -> float:
+        return sum(b.total_mm2 for b in self.frame_buffers.values())
 
     @property
     def total_mm2(self) -> float:
@@ -46,7 +52,14 @@ class AreaReport:
 
     @property
     def sram_blocks(self) -> int:
-        return sum(b.num_blocks for b in self.buffers.values())
+        return sum(b.num_blocks for b in self.buffers.values()) + sum(
+            b.num_blocks for b in self.frame_buffers.values()
+        )
+
+    @property
+    def frame_sram_kbytes(self) -> float:
+        """Allocated frame-buffer capacity (0 for purely spatial pipelines)."""
+        return self.schedule.frame_buffer_allocated_kbytes
 
     @property
     def sram_kbytes(self) -> float:
@@ -84,6 +97,16 @@ def area_report(
         dff = tech.dff_area_mm2(config.dff_pixels, config.spec.pixel_bits) if config.dff_pixels else 0.0
         report.buffers[producer] = BufferArea(
             producer=producer, num_blocks=config.num_blocks, sram_mm2=sram, dff_mm2=dff
+        )
+
+    for producer, frame in schedule.frame_buffers.items():
+        # Frame buffers are full-frame macros; block-granular fragmentation is
+        # marginal at that size, so both sizing modes charge whole blocks.
+        report.frame_buffers[producer] = BufferArea(
+            producer=producer,
+            num_blocks=frame.num_blocks,
+            sram_mm2=frame.num_blocks * tech.block_area_mm2(frame.spec),
+            dff_mm2=0.0,
         )
 
     ops = 0

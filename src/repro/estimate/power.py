@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.core.schedule import PipelineSchedule
 from repro.dsl.ast import estimate_operation_count
 from repro.estimate.sram_model import DEFAULT_TECH, SramTechModel
-from repro.memory.linebuffer import LineBufferConfig
+from repro.memory.linebuffer import FrameBufferConfig, LineBufferConfig
 
 
 @dataclass
@@ -51,23 +51,29 @@ class PowerReport:
 
     schedule: PipelineSchedule
     buffers: dict[str, BufferPower] = field(default_factory=dict)
+    #: Whole-frame history buffers of temporal pipelines (empty for 2-D ones).
+    frame_buffers: dict[str, BufferPower] = field(default_factory=dict)
     pe_mw: float = 0.0
 
     @property
     def memory_dynamic_mw(self) -> float:
-        return sum(b.dynamic_mw for b in self.buffers.values())
+        return sum(b.dynamic_mw for b in self._all_buffers())
 
     @property
     def memory_leakage_mw(self) -> float:
-        return sum(b.leakage_mw for b in self.buffers.values())
+        return sum(b.leakage_mw for b in self._all_buffers())
 
     @property
     def memory_dff_mw(self) -> float:
-        return sum(b.dff_mw for b in self.buffers.values())
+        return sum(b.dff_mw for b in self._all_buffers())
 
     @property
     def memory_mw(self) -> float:
-        return sum(b.total_mw for b in self.buffers.values())
+        return sum(b.total_mw for b in self._all_buffers())
+
+    @property
+    def frame_memory_mw(self) -> float:
+        return sum(b.total_mw for b in self.frame_buffers.values())
 
     @property
     def total_mw(self) -> float:
@@ -75,7 +81,11 @@ class PowerReport:
 
     @property
     def accesses_per_cycle(self) -> float:
-        return sum(b.accesses_per_cycle for b in self.buffers.values())
+        return sum(b.accesses_per_cycle for b in self._all_buffers())
+
+    def _all_buffers(self):
+        yield from self.buffers.values()
+        yield from self.frame_buffers.values()
 
 
 def buffer_access_rates(config: LineBufferConfig) -> float:
@@ -86,6 +96,17 @@ def buffer_access_rates(config: LineBufferConfig) -> float:
         return 2.0 * config.num_blocks
     reads = float(sum(config.reader_heights.values()))
     return 1.0 + reads
+
+
+def frame_buffer_access_rates(config: FrameBufferConfig) -> float:
+    """Steady-state SRAM accesses per cycle served by one frame buffer.
+
+    The producer writes one pixel of the newest retained frame per cycle, and
+    each of the ``depth`` retained frames is read at one pixel per cycle (the
+    spatial windowing over a past frame happens in downstream line/register
+    fabric, exactly as for the current frame).
+    """
+    return 1.0 + float(config.depth)
 
 
 def power_report(
@@ -131,6 +152,17 @@ def power_report(
             dynamic_mw=dynamic,
             leakage_mw=leakage,
             dff_mw=dff,
+        )
+
+    for producer, frame in schedule.frame_buffers.items():
+        accesses = frame_buffer_access_rates(frame)
+        energy = tech.access_energy_pj(frame.spec)
+        report.frame_buffers[producer] = BufferPower(
+            producer=producer,
+            accesses_per_cycle=accesses,
+            dynamic_mw=tech.dynamic_power_mw(accesses, energy),
+            leakage_mw=frame.num_blocks * tech.block_leakage_mw(frame.spec),
+            dff_mw=0.0,
         )
 
     ops_per_cycle = 0

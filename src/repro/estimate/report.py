@@ -46,9 +46,18 @@ class AcceleratorReport:
     def total_area_mm2(self) -> float:
         return self.area.total_mm2
 
+    @property
+    def frame_sram_kbytes(self) -> float:
+        return self.schedule.frame_buffer_allocated_kbytes
+
     def row(self) -> dict[str, float | int | str]:
-        """A flat dictionary convenient for benchmark tables."""
-        return {
+        """A flat dictionary convenient for benchmark tables.
+
+        Temporal designs report their frame-buffer split with extra keys;
+        purely spatial designs emit the historical keys only, keeping their
+        wire payloads (which embed this row) byte-identical.
+        """
+        row: dict[str, float | int | str] = {
             "generator": self.generator,
             "sram_kb": round(self.sram_kbytes, 2),
             "sram_blocks": self.sram_blocks,
@@ -57,6 +66,10 @@ class AcceleratorReport:
             "memory_area_mm2": round(self.memory_area_mm2, 4),
             "total_area_mm2": round(self.total_area_mm2, 4),
         }
+        if self.schedule.frame_buffers:
+            row["frame_sram_kb"] = round(self.frame_sram_kbytes, 2)
+            row["frame_buffers"] = len(self.schedule.frame_buffers)
+        return row
 
 
 def accelerator_report(

@@ -75,6 +75,15 @@ class Edge:
     def stencil_width(self) -> int:
         return self.window.width
 
+    @property
+    def temporal_depth(self) -> int:
+        """Past frames of the producer this consumer reaches back (0 = spatial)."""
+        return self.window.temporal_depth
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.window.is_temporal
+
 
 class PipelineDAG:
     """Directed acyclic graph of pipeline stages.
@@ -175,6 +184,50 @@ class PipelineDAG:
         """Stages whose output is read by more than one consumer (MC stages, Table 3)."""
         return [name for name in self._stages if len(self._out_edges[name]) > 1]
 
+    # ------------------------------------------------------------- temporal
+    def is_temporal(self) -> bool:
+        """True when any edge reads past frames (the pipeline needs frame buffers)."""
+        return any(edge.window.is_temporal for edge in self._edges)
+
+    def temporal_depth(self) -> int:
+        """Deepest frame history any consumer needs (0 for single-frame pipelines)."""
+        if not self._edges:
+            return 0
+        return max(edge.temporal_depth for edge in self._edges)
+
+    def history_depth(self) -> int:
+        """Frames of *input* history an output pixel may depend on.
+
+        Temporal depth accumulates along paths: a stage reading its producer
+        one frame back, whose producer itself reads the input one frame back,
+        depends on input frames two back.  This is the window a per-frame
+        replay must carry (:func:`repro.sim.batch.replay_frames_loop`);
+        contrast :meth:`temporal_depth`, the deepest *single edge*, which
+        sizes the frame buffers.
+        """
+        from repro.ir.traversal import topological_order
+
+        depth: dict[str, int] = {}
+        for name in topological_order(self):
+            incoming = self._in_edges[name]
+            depth[name] = max(
+                (depth[e.producer] + e.temporal_depth for e in incoming), default=0
+            )
+        return max(depth.values(), default=0)
+
+    def frame_depths(self) -> dict[str, int]:
+        """Per-producer frame-buffer depth: past frames its slowest consumer reads.
+
+        Only producers with at least one temporal consumer edge appear; the
+        allocator sizes one :class:`repro.memory.linebuffer.FrameBufferConfig`
+        of ``depth x height x width`` pixels per entry.
+        """
+        depths: dict[str, int] = {}
+        for edge in self._edges:
+            if edge.temporal_depth > 0:
+                depths[edge.producer] = max(depths.get(edge.producer, 0), edge.temporal_depth)
+        return depths
+
     def is_single_consumer(self) -> bool:
         """True when every producer has at most one consumer (the ``-s`` algorithms)."""
         return not self.multi_consumer_stages()
@@ -222,6 +275,12 @@ class PipelineDAG:
         excluded: they do not influence scheduling, simulation or RTL
         generation.  Expressions are serialized through their stable ``str``
         form.
+
+        Stencil windows serialize as the classic 4-element
+        ``[min_dx, max_dx, min_dy, max_dy]`` list; edges with a temporal
+        extent append ``min_dt, max_dt`` (6 elements).  Purely spatial
+        pipelines therefore keep the exact canonical form — and the exact
+        compile fingerprint — they had before the time axis existed.
         """
         stages = [
             {
@@ -237,12 +296,7 @@ class PipelineDAG:
             {
                 "producer": edge.producer,
                 "consumer": edge.consumer,
-                "window": [
-                    edge.window.min_dx,
-                    edge.window.max_dx,
-                    edge.window.min_dy,
-                    edge.window.max_dy,
-                ],
+                "window": window_to_list(edge.window),
             }
             for edge in sorted(self._edges, key=lambda e: (e.producer, e.consumer))
         ]
@@ -268,6 +322,30 @@ class PipelineDAG:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PipelineDAG({self.name!r}, stages={len(self)}, edges={len(self._edges)})"
+
+
+def window_to_list(window: StencilWindow) -> list[int]:
+    """Canonical list form of a stencil window.
+
+    Spatial windows keep the historical 4-element
+    ``[min_dx, max_dx, min_dy, max_dy]`` quadruple (so fingerprints and wire
+    payloads of 2-D pipelines are byte-stable across the temporal-IR
+    refactor); temporal windows append ``min_dt, max_dt``.
+    """
+    quad = [window.min_dx, window.max_dx, window.min_dy, window.max_dy]
+    if window.is_temporal:
+        return quad + [window.min_dt, window.max_dt]
+    return quad
+
+
+def window_from_list(values: "list[int] | tuple[int, ...]") -> StencilWindow:
+    """Inverse of :func:`window_to_list`; accepts both 4- and 6-element forms."""
+    if not isinstance(values, (list, tuple)) or len(values) not in (4, 6):
+        raise GraphError(
+            "Stencil window list must be [min_dx, max_dx, min_dy, max_dy] "
+            "optionally followed by [min_dt, max_dt]"
+        )
+    return StencilWindow(*(int(v) for v in values))
 
 
 def merge_parallel_edges(edges: Iterable[Edge]) -> dict[tuple[str, str], StencilWindow]:

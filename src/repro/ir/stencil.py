@@ -5,6 +5,18 @@ stage reads to compute one output pixel.  The ImaGen formulation only needs
 the window *height* (``SH`` in the paper), but the functional simulator and
 the RTL generator need the full 2-D extent and the offsets, so the window is
 kept as a first-class object.
+
+Temporal extension
+------------------
+Multi-frame pipelines (temporal denoise, frame differencing) read the
+producer at *frame* offsets as well: the window optionally spans
+``min_dt .. max_dt`` frames around the current one.  ``dt = 0`` is the
+current frame, ``dt = -1`` the previous frame, and so on; causality requires
+``max_dt <= 0`` (checked by :func:`repro.ir.validate.validate_dag`, not here,
+so intermediate window arithmetic stays unconstrained).  The temporal fields
+default to ``(0, 0)``, so every existing 2-D constructor, comparison and
+serialization is unchanged — a purely spatial window is bit-for-bit the same
+object it was before the time axis existed.
 """
 
 from __future__ import annotations
@@ -20,19 +32,28 @@ class StencilWindow:
 
     The window covers rows ``min_dy .. max_dy`` and columns ``min_dx .. max_dx``
     (inclusive) around the output coordinate.  ``height``/``width`` are the
-    quantities used throughout the scheduling math.
+    quantities used throughout the scheduling math.  The optional temporal
+    extent ``min_dt .. max_dt`` (frame offsets, ``0`` = current frame)
+    defaults to the degenerate single-frame range, keeping 2-D windows — and
+    everything derived from them — exactly as they were.
     """
 
     min_dx: int
     max_dx: int
     min_dy: int
     max_dy: int
+    min_dt: int = 0
+    max_dt: int = 0
 
     def __post_init__(self) -> None:
         if self.max_dx < self.min_dx or self.max_dy < self.min_dy:
             raise GraphError(
                 f"Degenerate stencil window: dx=[{self.min_dx},{self.max_dx}] "
                 f"dy=[{self.min_dy},{self.max_dy}]"
+            )
+        if self.max_dt < self.min_dt:
+            raise GraphError(
+                f"Degenerate stencil window: dt=[{self.min_dt},{self.max_dt}]"
             )
 
     @property
@@ -46,9 +67,28 @@ class StencilWindow:
         return self.max_dy - self.min_dy + 1
 
     @property
+    def depth(self) -> int:
+        """Number of frames covered by the window (1 for spatial windows)."""
+        return self.max_dt - self.min_dt + 1
+
+    @property
+    def is_temporal(self) -> bool:
+        """True when the window touches any frame other than the current one."""
+        return self.min_dt != 0 or self.max_dt != 0
+
+    @property
+    def temporal_depth(self) -> int:
+        """Number of *past* frames the window reaches back (0 for spatial).
+
+        This is the frame-buffer sizing quantity: a consumer reading
+        ``dt in [-2, 0]`` needs the producer's last 2 frames retained.
+        """
+        return max(0, -self.min_dt)
+
+    @property
     def size(self) -> int:
         """Number of pixels read per output pixel."""
-        return self.width * self.height
+        return self.width * self.height * self.depth
 
     @classmethod
     def from_extent(cls, width: int, height: int) -> "StencilWindow":
@@ -79,6 +119,25 @@ class StencilWindow:
         """A 1x1 window (pointwise consumption)."""
         return cls(0, 0, 0, 0)
 
+    @classmethod
+    def temporal(cls, width: int, height: int, depth: int, *, centered: bool = True) -> "StencilWindow":
+        """A spatial window spanning the current frame and ``depth - 1`` past frames.
+
+        ``temporal(3, 3, 2)`` reads a centered 3x3 window from both the
+        current and the previous frame (``dt in [-1, 0]``).
+        """
+        if depth < 1:
+            raise GraphError(f"Temporal depth must be positive, got {depth}")
+        spatial = cls.centered(width, height) if centered else cls.from_extent(width, height)
+        return cls(
+            min_dx=spatial.min_dx,
+            max_dx=spatial.max_dx,
+            min_dy=spatial.min_dy,
+            max_dy=spatial.max_dy,
+            min_dt=-(depth - 1),
+            max_dt=0,
+        )
+
     def union(self, other: "StencilWindow") -> "StencilWindow":
         """Smallest window covering both windows.
 
@@ -90,23 +149,50 @@ class StencilWindow:
             max_dx=max(self.max_dx, other.max_dx),
             min_dy=min(self.min_dy, other.min_dy),
             max_dy=max(self.max_dy, other.max_dy),
+            min_dt=min(self.min_dt, other.min_dt),
+            max_dt=max(self.max_dt, other.max_dt),
         )
 
     def offsets(self) -> list[tuple[int, int]]:
-        """All (dx, dy) offsets in raster order."""
+        """All (dx, dy) offsets of the current-frame slice, in raster order."""
         return [
             (dx, dy)
             for dy in range(self.min_dy, self.max_dy + 1)
             for dx in range(self.min_dx, self.max_dx + 1)
         ]
 
+    def offsets3d(self) -> list[tuple[int, int, int]]:
+        """All (dt, dy, dx) offsets, oldest frame first, raster order within a frame."""
+        return [
+            (dt, dy, dx)
+            for dt in range(self.min_dt, self.max_dt + 1)
+            for dy in range(self.min_dy, self.max_dy + 1)
+            for dx in range(self.min_dx, self.max_dx + 1)
+        ]
+
+    def spatial(self) -> "StencilWindow":
+        """The purely spatial projection (temporal extent collapsed to dt=0)."""
+        if not self.is_temporal:
+            return self
+        return StencilWindow(self.min_dx, self.max_dx, self.min_dy, self.max_dy)
+
     def normalized(self) -> "StencilWindow":
         """The same extent anchored at offset (0, 0).
 
         The scheduling formulation is invariant to the anchor; only the extent
         matters.  Normalising makes windows comparable across DSL styles.
+        Temporal extents are *not* re-anchored: frame offsets are absolute
+        (``dt = -1`` always means the previous frame), so the causal range is
+        preserved as-is.
         """
-        return StencilWindow.from_extent(self.width, self.height)
+        base = StencilWindow.from_extent(self.width, self.height)
+        if not self.is_temporal:
+            return base
+        return StencilWindow(
+            base.min_dx, base.max_dx, base.min_dy, base.max_dy, self.min_dt, self.max_dt
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_temporal:
+            return f"{self.width}x{self.height}x{self.depth}t"
         return f"{self.width}x{self.height}"

@@ -11,6 +11,11 @@ from repro.errors import GraphError
 from repro.ir.dag import PipelineDAG
 from repro.ir.traversal import ancestors_of, topological_order
 
+#: Deepest frame history an edge may request.  Frame buffers cost
+#: ``depth x height x width`` pixels of SRAM each, so a typo'd ``prev(1000)``
+#: would silently ask for gigabytes; real temporal kernels use single digits.
+MAX_TEMPORAL_DEPTH = 16
+
 
 def validate_dag(dag: PipelineDAG) -> None:
     """Raise :class:`GraphError` if the pipeline graph is not a usable pipeline.
@@ -24,7 +29,10 @@ def validate_dag(dag: PipelineDAG) -> None:
     * every stage can reach some output stage (no dead stages) unless it *is*
       an output stage;
     * every non-input stage is reachable from some input stage;
-    * stencil windows are positive (guaranteed by construction, re-checked here).
+    * stencil windows are positive (guaranteed by construction, re-checked here);
+    * temporal windows are causal: no edge may read *future* frames
+      (``max_dt <= 0``), and the frame history any edge reaches back is
+      bounded (a safety valve against runaway frame-buffer sizes).
     """
     if len(dag) == 0:
         raise GraphError("Pipeline has no stages")
@@ -71,4 +79,15 @@ def validate_dag(dag: PipelineDAG) -> None:
         if edge.window.height < 1 or edge.window.width < 1:
             raise GraphError(
                 f"Edge {edge.producer!r}->{edge.consumer!r} has a degenerate stencil window"
+            )
+        if edge.window.max_dt > 0:
+            raise GraphError(
+                f"Edge {edge.producer!r}->{edge.consumer!r} reads future frame "
+                f"dt=+{edge.window.max_dt}; temporal windows must be causal (max_dt <= 0)"
+            )
+        if edge.temporal_depth > MAX_TEMPORAL_DEPTH:
+            raise GraphError(
+                f"Edge {edge.producer!r}->{edge.consumer!r} reaches back "
+                f"{edge.temporal_depth} frames; the frame-buffer depth limit is "
+                f"{MAX_TEMPORAL_DEPTH}"
             )

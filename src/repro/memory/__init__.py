@@ -8,17 +8,22 @@ from repro.memory.spec import (
     asic_fifo,
     spartan7_fpga,
 )
-from repro.memory.linebuffer import LineBufferConfig, BlockAssignment
+from repro.memory.linebuffer import LineBufferConfig, BlockAssignment, FrameBufferConfig
 from repro.memory.allocator import (
     allocate_line_buffer,
     allocate_fifo_buffer,
+    allocate_frame_buffer,
     allocate_register_buffer,
+    derive_frame_buffers,
     dff_realization_threshold,
 )
 
 __all__ = [
     "allocate_register_buffer",
     "dff_realization_threshold",
+    "FrameBufferConfig",
+    "allocate_frame_buffer",
+    "derive_frame_buffers",
     "MemorySpec",
     "FpgaSpec",
     "asic_dual_port",

@@ -15,9 +15,14 @@ Two allocation styles are supported:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import AllocationError
-from repro.memory.linebuffer import BlockAssignment, LineBufferConfig
+from repro.memory.linebuffer import BlockAssignment, FrameBufferConfig, LineBufferConfig
 from repro.memory.spec import MemorySpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ir.dag import PipelineDAG
 
 
 def dff_realization_threshold(image_width: int) -> int:
@@ -127,6 +132,62 @@ def allocate_line_buffer(
 
     config.blocks = blocks
     return config
+
+
+def allocate_frame_buffer(
+    producer: str,
+    image_width: int,
+    image_height: int,
+    depth: int,
+    spec: MemorySpec,
+) -> FrameBufferConfig:
+    """Size the whole-frame history buffer of one temporal producer.
+
+    ``depth`` past frames of ``image_height x image_width`` pixels are
+    retained, banked one frame per bank (see
+    :class:`repro.memory.linebuffer.FrameBufferConfig`).  All generators share
+    this allocation: frame buffers sit behind the raster-scan line-buffer
+    fabric, so ImaGen, Darkroom, SODA and FixyNN pay the same frame SRAM for
+    the same DAG.
+    """
+    if depth < 1:
+        raise AllocationError(f"Frame buffer for {producer!r} needs depth >= 1, got {depth}")
+    if image_width < 1 or image_height < 1:
+        raise AllocationError(
+            f"Frame buffer for {producer!r} needs a positive image extent, "
+            f"got {image_width}x{image_height}"
+        )
+    return FrameBufferConfig(
+        producer=producer,
+        image_width=image_width,
+        image_height=image_height,
+        depth=depth,
+        spec=spec,
+    )
+
+
+def derive_frame_buffers(
+    dag: "PipelineDAG",
+    image_width: int,
+    image_height: int,
+    spec: MemorySpec,
+) -> list[FrameBufferConfig]:
+    """Frame buffers a pipeline needs: one per producer with temporal consumers.
+
+    A pure function of the DAG and image geometry — no start cycles involved —
+    so every schedule construction site (the ImaGen scheduler, each baseline
+    generator, and cache deserialization) derives the identical list.  Returns
+    ``[]`` for purely spatial pipelines.  Order follows the DAG's stage
+    insertion order for determinism.
+    """
+    depths = dag.frame_depths()
+    if not depths:
+        return []
+    return [
+        allocate_frame_buffer(name, image_width, image_height, depths[name], spec)
+        for name in dag.stage_names()
+        if name in depths
+    ]
 
 
 def allocate_fifo_buffer(

@@ -55,6 +55,97 @@ class BlockAssignment:
         )
 
 
+@dataclass(frozen=True)
+class FrameBufferConfig:
+    """Whole-frame history storage for one producer with temporal consumers.
+
+    A consumer reading the producer at frame offset ``dt = -k`` needs the
+    producer's last ``k`` complete frames retained; ``depth`` is the deepest
+    such ``k`` over all consumers.  The retained history is
+    ``depth x height x width`` pixels (``pixel_capacity`` / ``data_bits``);
+    physically the buffer rotates through ``depth + 1`` frame slots, one bank
+    per slot: the writer streams the current frame into the spare slot while
+    readers draw the ``depth`` past frames from the others, so no bank ever
+    serves more than one access per cycle and the buffer is legal on any port
+    count — including FixyNN's single-port SRAM.  Unlike line buffers, the
+    size is a pure function of the DAG and image geometry — independent of
+    start cycles — so it can be re-derived anywhere a schedule is
+    reconstructed (see :func:`repro.memory.allocator.derive_frame_buffers`).
+    """
+
+    producer: str
+    image_width: int
+    image_height: int
+    depth: int
+    spec: MemorySpec
+
+    @property
+    def slots(self) -> int:
+        """Physical frame slots: ``depth`` past frames + the rotation slot."""
+        return self.depth + 1
+
+    @property
+    def pixel_capacity(self) -> int:
+        """Pixels of live history retained: ``depth`` whole frames."""
+        return self.depth * self.image_width * self.image_height
+
+    @property
+    def data_bits(self) -> int:
+        return self.pixel_capacity * self.spec.pixel_bits
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks claimed: one bank per frame slot, each rounding up separately."""
+        frame_bits = self.image_width * self.image_height * self.spec.pixel_bits
+        blocks_per_frame = -(-frame_bits // self.spec.block_bits)
+        return self.slots * blocks_per_frame
+
+    @property
+    def allocated_bits(self) -> int:
+        return self.num_blocks * self.spec.block_bits
+
+    @property
+    def allocated_kbytes(self) -> float:
+        return self.allocated_bits / 8192.0
+
+    @property
+    def data_kbytes(self) -> float:
+        return self.data_bits / 8192.0
+
+    def summary(self) -> str:
+        return (
+            f"FB[{self.producer}]: {self.depth} frame(s) x "
+            f"{self.image_height}x{self.image_width}px, "
+            f"{self.num_blocks} block(s) ({self.spec.name})"
+        )
+
+    # --------------------------------------------------------------- payload
+    def to_payload(self) -> dict:
+        """Flatten into a JSON-compatible dictionary (lossless round-trip)."""
+        return {
+            "producer": self.producer,
+            "image_width": self.image_width,
+            "image_height": self.image_height,
+            "depth": self.depth,
+            "spec": asdict(self.spec),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FrameBufferConfig":
+        spec_payload = dict(payload["spec"])
+        known = {f.name for f in fields(MemorySpec)}
+        unknown = set(spec_payload) - known
+        if unknown:
+            raise ValueError(f"Unknown memory spec fields in payload: {sorted(unknown)}")
+        return cls(
+            producer=str(payload["producer"]),
+            image_width=int(payload["image_width"]),
+            image_height=int(payload["image_height"]),
+            depth=int(payload["depth"]),
+            spec=MemorySpec(**spec_payload),
+        )
+
+
 @dataclass
 class LineBufferConfig:
     """Physical configuration of the line buffer after one producer stage."""

@@ -80,7 +80,8 @@ CHECK_KINDS: dict[str, str] = {
     "cycle": (
         "Reserved-table legality of the compiled schedule: closed-form R1 "
         "(causality) and R2 (no premature eviction) plus a periodic R3 slot "
-        "table (no port over-subscription) over blocks and ports."
+        "table (no port over-subscription) over blocks and ports; temporal "
+        "schedules additionally check FB (frame-buffer coverage)."
     ),
     "both": "golden followed by cycle; passes only when both pass.",
 }

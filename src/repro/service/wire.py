@@ -55,7 +55,7 @@ from repro.core.schedule import PipelineSchedule
 from repro.core.scheduler import SchedulerOptions
 from repro.dsl import ast
 from repro.estimate.report import accelerator_report
-from repro.ir.dag import PipelineDAG, Stage
+from repro.ir.dag import PipelineDAG, Stage, window_to_list
 from repro.ir.stencil import StencilWindow
 from repro.memory.spec import MemorySpec
 from repro.service.cache import deserialize_schedule, serialize_schedule
@@ -64,7 +64,18 @@ from repro.trace import spans_from_payload, spans_to_payload
 
 #: Bump when the wire layout changes incompatibly; requests carrying another
 #: version are rejected with a clear error instead of being misparsed.
-WIRE_FORMAT_VERSION = 1
+#:
+#: Version 2 (the temporal-IR release) adds two *optional* extensions to the
+#: target payload: a ``dt`` field on ``ref`` expressions and a 6-element
+#: ``[min_dx, max_dx, min_dy, max_dy, min_dt, max_dt]`` edge-window form.
+#: Purely spatial targets never use either, so the encoder stamps them
+#: ``version: 1`` — byte-identical to what a v1 build emits — and stamps
+#: ``version: 2`` only when the pipeline actually reads past frames.  The
+#: decoder accepts both versions (:data:`READABLE_WIRE_VERSIONS`).
+WIRE_FORMAT_VERSION = 2
+
+#: Target-payload versions this build decodes.
+READABLE_WIRE_VERSIONS = (1, 2)
 
 
 class WireFormatError(ValueError):
@@ -88,7 +99,11 @@ def expr_to_wire(expr: ast.Expr | None) -> dict | None:
     if isinstance(expr, ast.Const):
         return {"kind": "const", "value": expr.value}
     if isinstance(expr, ast.StageRef):
-        return {"kind": "ref", "stage": expr.stage, "dx": expr.dx, "dy": expr.dy}
+        ref = {"kind": "ref", "stage": expr.stage, "dx": expr.dx, "dy": expr.dy}
+        # Spatial refs omit dt entirely, keeping v1 payloads byte-identical.
+        if expr.dt:
+            ref["dt"] = expr.dt
+        return ref
     if isinstance(expr, ast.BinOp):
         return {
             "kind": "binop",
@@ -118,6 +133,7 @@ def expr_from_wire(payload: dict | None) -> ast.Expr | None:
                 str(_require(payload, "stage", "ref expression")),
                 int(payload.get("dx", 0)),
                 int(payload.get("dy", 0)),
+                int(payload.get("dt", 0)),
             )
         if kind == "binop":
             return ast.BinOp(
@@ -164,12 +180,7 @@ def dag_to_wire(dag: PipelineDAG) -> dict:
             {
                 "producer": edge.producer,
                 "consumer": edge.consumer,
-                "window": [
-                    edge.window.min_dx,
-                    edge.window.max_dx,
-                    edge.window.min_dy,
-                    edge.window.max_dy,
-                ],
+                "window": window_to_list(edge.window),
             }
             for edge in dag.edges()
         ],
@@ -196,9 +207,10 @@ def dag_from_wire(payload: dict) -> PipelineDAG:
             )
         for edge in edges:
             window = _require(edge, "window", "edge")
-            if not isinstance(window, (list, tuple)) or len(window) != 4:
+            if not isinstance(window, (list, tuple)) or len(window) not in (4, 6):
                 raise WireFormatError(
-                    "Edge window must be [min_dx, max_dx, min_dy, max_dy]"
+                    "Edge window must be [min_dx, max_dx, min_dy, max_dy] or "
+                    "[min_dx, max_dx, min_dy, max_dy, min_dt, max_dt]"
                 )
             dag.add_edge(
                 str(_require(edge, "producer", "edge")),
@@ -260,7 +272,9 @@ def target_to_wire(target: CompileTarget) -> dict:
     it).
     """
     payload = {
-        "version": WIRE_FORMAT_VERSION,
+        # Spatial targets stamp version 1 — byte-identical to a v1 build's
+        # output — so their fingerprints and cache keys never move.
+        "version": WIRE_FORMAT_VERSION if target.dag.is_temporal() else 1,
         "dag": dag_to_wire(target.dag),
         "resolution": [target.image_width, target.image_height],
         "memory_spec": normalize_memory_spec(target.memory_spec),
@@ -286,10 +300,10 @@ def target_from_wire(payload: dict) -> CompileTarget:
             f"Compile target must be a JSON object, got {type(payload).__name__}"
         )
     version = payload.get("version", WIRE_FORMAT_VERSION)
-    if version != WIRE_FORMAT_VERSION:
+    if version not in READABLE_WIRE_VERSIONS:
         raise WireFormatError(
             f"Unsupported wire format version {version!r} (this build speaks "
-            f"{WIRE_FORMAT_VERSION})"
+            f"{', '.join(str(v) for v in READABLE_WIRE_VERSIONS)})"
         )
     resolution = _require(payload, "resolution", "compile target")
     if not isinstance(resolution, (list, tuple)) or len(resolution) != 2:

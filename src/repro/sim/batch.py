@@ -89,9 +89,16 @@ class BatchReplay:
 def replay_frames(
     dag: PipelineDAG, width: int, height: int, *, frames: int = 2, seed: int = 0
 ) -> BatchReplay:
-    """Replay ``frames`` deterministic frames through ``dag`` in one pass."""
+    """Replay ``frames`` deterministic frames through ``dag`` in one pass.
+
+    Spatial pipelines replay the stack as an independent-frame batch (the
+    historic behaviour); temporal pipelines replay it as a time sequence
+    (``axes="tyx"``), so ``dt`` references reach earlier frames of the same
+    stack, clamped at frame 0.
+    """
     inputs = golden_frames(dag, width, height, frames=frames, seed=seed)
-    result = run_functional(dag, inputs)
+    axes = "tyx" if dag.is_temporal() else None
+    result = run_functional(dag, inputs, axes=axes)
     outputs = result.outputs()
     return BatchReplay(
         dag=dag,
@@ -112,12 +119,29 @@ def replay_frames_loop(
     same digest — only the dispatch cost differs.  The throughput benchmark
     (``benchmarks/test_verify_throughput.py``) guards the speedup between the
     two.
+
+    For a temporal pipeline each iteration carries the sliding window of past
+    input frames the deepest ``dt`` reference needs (clamp-at-frame-0 only
+    ever applies inside the first ``depth`` frames, matching the vectorized
+    semantics exactly), and keeps the window's last frame.
     """
     inputs = golden_frames(dag, width, height, frames=frames, seed=seed)
     per_frame: list[FunctionalResult] = []
+    depth = dag.history_depth()
     for index in range(frames):
-        frame_inputs = {name: stack[index] for name, stack in inputs.items()}
-        per_frame.append(run_functional(dag, frame_inputs))
+        if depth:
+            lo = max(0, index - depth)
+            window_inputs = {name: stack[lo : index + 1] for name, stack in inputs.items()}
+            windowed = run_functional(dag, window_inputs, axes="tyx")
+            per_frame.append(
+                FunctionalResult(
+                    dag=dag,
+                    images={name: img[-1] for name, img in windowed.images.items()},
+                )
+            )
+        else:
+            frame_inputs = {name: stack[index] for name, stack in inputs.items()}
+            per_frame.append(run_functional(dag, frame_inputs))
     stacked: dict[str, np.ndarray] = {}
     for name in per_frame[0].images:
         stacked[name] = np.stack([result.images[name] for result in per_frame])

@@ -73,6 +73,61 @@ class SimulationReport:
         return sum(stats.writes for stats in self.buffer_stats.values())
 
 
+def frame_buffer_violations(
+    schedule: PipelineSchedule,
+) -> list[tuple[str, str, str | None, str]]:
+    """Frame-buffer legality: ``(rule, producer, consumer, message)`` tuples.
+
+    Frame buffers rotate through ``depth + 1`` banked slots, so they can never
+    oversubscribe ports; what *can* go wrong is a schedule whose frame buffers
+    do not cover the DAG's temporal reads (a hand-built or deserialized
+    schedule with a missing, too-shallow, or wrong-geometry buffer).  Both the
+    event walk and the reserved-table checker report these identically under
+    rule ``"FB"`` — the temporal analogue of R2: a past frame a consumer still
+    needs would have been evicted.
+    """
+    found: list[tuple[str, str, str | None, str]] = []
+    depths = schedule.dag.frame_depths()
+    for producer, needed in depths.items():
+        config = schedule.frame_buffers.get(producer)
+        if config is None:
+            found.append(
+                (
+                    "FB",
+                    producer,
+                    None,
+                    f"FB: consumers of {producer} read {needed} past frame(s) "
+                    "but the schedule has no frame buffer for it",
+                )
+            )
+            continue
+        if config.depth < needed:
+            found.append(
+                (
+                    "FB",
+                    producer,
+                    None,
+                    f"FB: frame buffer of {producer} retains {config.depth} frame(s) "
+                    f"but its slowest consumer reaches back {needed}",
+                )
+            )
+        if (
+            config.image_width != schedule.image_width
+            or config.image_height != schedule.image_height
+        ):
+            found.append(
+                (
+                    "FB",
+                    producer,
+                    None,
+                    f"FB: frame buffer of {producer} is sized "
+                    f"{config.image_width}x{config.image_height} but the schedule "
+                    f"processes {schedule.image_width}x{schedule.image_height} frames",
+                )
+            )
+    return found
+
+
 def simulate_schedule(
     schedule: PipelineSchedule,
     *,
@@ -121,6 +176,9 @@ def simulate_schedule(
         violation_keys.add((rule, producer, consumer))
         if len(violations) < max_violations:
             violations.append(message)
+
+    for rule, producer, consumer, message in frame_buffer_violations(schedule):
+        record(message, rule, producer, consumer)
 
     for t in range(end_cycle):
         if t >= output_start and t - output_start < frame_pixels:
@@ -332,7 +390,10 @@ def check_schedule_legality(
     # ``max_rows`` only to mirror a bounded event walk for comparison.
     rows = schedule.image_height if max_rows is None else _analysis_rows(schedule, max_rows)
 
-    violations: list[LegalityViolation] = []
+    violations: list[LegalityViolation] = [
+        LegalityViolation(rule, producer, consumer, message)
+        for rule, producer, consumer, message in frame_buffer_violations(schedule)
+    ]
     phases_checked = 0
 
     for producer, config in schedule.line_buffers.items():
@@ -447,7 +508,7 @@ def _legality_from_event_walk(schedule: PipelineSchedule, rows: int) -> Legality
     report = simulate_schedule(schedule, max_rows=rows, max_violations=1_000_000)
     messages = {}
     for message in report.violations:
-        rule = message.split(" ", 1)[0]
+        rule = message.split(" ", 1)[0].rstrip(":")
         messages.setdefault(rule, message)
     violations = [
         LegalityViolation(rule, producer, consumer, messages.get(rule, f"{rule} violated"))

@@ -40,8 +40,18 @@ class FunctionalResult:
         return {s.name: self.image(s.name) for s in self.dag.output_stages()}
 
 
+#: Accepted ``axes=`` values for :func:`run_functional`.
+#: ``"yx"`` — a single 2-D frame; ``"fyx"`` — a 3-D stack of *independent*
+#: frames (a batch); ``"tyx"`` — a 3-D *temporal sequence* whose leading axis
+#: is time (frame ``i`` may read frames ``< i`` through ``dt`` references).
+AXES_CONVENTIONS = ("yx", "fyx", "tyx")
+
+
 def run_functional(
-    dag: PipelineDAG, inputs: dict[str, np.ndarray] | np.ndarray
+    dag: PipelineDAG,
+    inputs: dict[str, np.ndarray] | np.ndarray,
+    *,
+    axes: str | None = None,
 ) -> FunctionalResult:
     """Execute every stage of ``dag`` over full images.
 
@@ -51,7 +61,31 @@ def run_functional(
     in one vectorized pass (see :mod:`repro.sim.batch` for the replay front).
     Stages without an expression (relay/virtual stages) forward their single
     producer unchanged.
+
+    A 3-D input is ambiguous: it may be a batch of independent frames
+    (``axes="fyx"``) or a temporal sequence (``axes="tyx"``).  The two agree
+    for purely spatial pipelines, so ``axes`` may be omitted there (historic
+    behaviour: an independent-frame batch).  Temporal pipelines *must* pass
+    ``axes="tyx"`` — any other convention (or none) raises
+    :class:`SimulationError` rather than silently reinterpreting the axis.
     """
+    if axes is not None and axes not in AXES_CONVENTIONS:
+        raise SimulationError(
+            f"Unknown axes convention {axes!r}; expected one of {AXES_CONVENTIONS}"
+        )
+    temporal = dag.is_temporal()
+    if temporal and axes != "tyx":
+        if axes is None:
+            raise SimulationError(
+                f"Pipeline {dag.name!r} reads past frames; a 3-D input is ambiguous "
+                "(frame batch vs temporal sequence). Pass axes='tyx' for a "
+                "(frames, height, width) temporal sequence."
+            )
+        raise SimulationError(
+            f"Pipeline {dag.name!r} reads past frames, which axes={axes!r} cannot "
+            "express; pass axes='tyx'"
+        )
+
     input_stages = dag.input_stages()
     if isinstance(inputs, np.ndarray):
         if len(input_stages) != 1:
@@ -60,6 +94,7 @@ def run_functional(
             )
         inputs = {input_stages[0].name: inputs}
 
+    expected_ndim = {None: (2, 3), "yx": (2,), "fyx": (3,), "tyx": (3,)}[axes]
     images: dict[str, np.ndarray] = {}
     for stage in input_stages:
         if stage.name not in inputs:
@@ -68,6 +103,11 @@ def run_functional(
         if image.ndim not in (2, 3):
             raise SimulationError(
                 f"Input image for {stage.name!r} must be 2-D (or a 3-D frame batch)"
+            )
+        if image.ndim not in expected_ndim:
+            raise SimulationError(
+                f"Input image for {stage.name!r} is {image.ndim}-D, which does not "
+                f"match axes={axes!r} (expected {' or '.join(str(n) for n in expected_ndim)}-D)"
             )
         images[stage.name] = image
 

@@ -16,11 +16,16 @@ from hypothesis import given, settings, strategies as st
 
 from repro.api.target import CompileTarget
 from repro.core.compiler import compile_target
-from repro.dsl.builder import PipelineBuilder, window_sum
+from repro.dsl.builder import PipelineBuilder, temporal_average, window_sum
 from repro.estimate.report import accelerator_report
-from repro.memory.linebuffer import BlockAssignment, LineBufferConfig
+from repro.memory.linebuffer import BlockAssignment, FrameBufferConfig, LineBufferConfig
 from repro.memory.spec import MemorySpec
-from repro.service.wire import schedule_from_wire, schedule_to_wire
+from repro.service.wire import (
+    schedule_from_wire,
+    schedule_to_wire,
+    target_from_wire,
+    target_to_wire,
+)
 
 W, H = 32, 24
 
@@ -102,8 +107,12 @@ class TestLineBufferPayloadRoundTrip:
 # ---------------------------------------------------------------------------
 # Real generator schedules
 # ---------------------------------------------------------------------------
-def _random_chain_dag(num_stages: int, stencil: int, fan_out: bool):
-    builder = PipelineBuilder(f"wire-{num_stages}-{stencil}-{int(fan_out)}")
+def _random_chain_dag(
+    num_stages: int, stencil: int, fan_out: bool, temporal_depth: int = 0
+):
+    builder = PipelineBuilder(
+        f"wire-{num_stages}-{stencil}-{int(fan_out)}-{temporal_depth}"
+    )
     handle = builder.input("K0")
     first = handle
     for index in range(1, num_stages):
@@ -113,17 +122,22 @@ def _random_chain_dag(num_stages: int, stencil: int, fan_out: bool):
         handle = builder.stage(
             "join", window_sum(first, stencil, stencil) + window_sum(handle, 1, 1)
         )
+    if temporal_depth:
+        handle = builder.stage(
+            "taccum", temporal_average(handle, temporal_depth + 1)
+        )
     builder.dag.stage(handle.name).is_output = True
     return builder.dag.validated()
 
 
 @st.composite
-def generator_schedules(draw):
+def generator_schedules(draw, temporal: bool = False):
     generator = draw(st.sampled_from(["imagen", "darkroom", "soda", "fixynn"]))
     num_stages = draw(st.integers(2, 5))
     stencil = draw(st.sampled_from([1, 3, 5]))
     fan_out = draw(st.booleans())
-    dag = _random_chain_dag(num_stages, stencil, fan_out)
+    temporal_depth = draw(st.integers(1, 3)) if temporal else 0
+    dag = _random_chain_dag(num_stages, stencil, fan_out, temporal_depth)
     target = CompileTarget(
         dag, image_width=W, image_height=H, generator=generator
     )
@@ -151,3 +165,44 @@ class TestGeneratorScheduleRoundTrip:
         schedule, _ = data
         payload = schedule_to_wire(schedule)
         assert json.loads(json.dumps(payload)) == payload
+
+
+# ---------------------------------------------------------------------------
+# Target payload v1 <-> v2 compatibility
+# ---------------------------------------------------------------------------
+class TestTargetPayloadVersions:
+    @given(data=generator_schedules())
+    @settings(max_examples=15, deadline=None)
+    def test_spatial_targets_emit_v1_payloads(self, data):
+        """A spatial target's payload is indistinguishable from a v1 build's:
+        version 1, 4-element windows, no dt keys anywhere."""
+        _, target = data
+        wire = json.loads(json.dumps(target_to_wire(target)))
+        assert wire["version"] == 1
+        assert all(len(edge["window"]) == 4 for edge in wire["dag"]["edges"])
+        assert '"dt"' not in json.dumps(wire)
+        assert target_from_wire(wire).fingerprint == target.fingerprint
+
+    @given(data=generator_schedules(temporal=True))
+    @settings(max_examples=15, deadline=None)
+    def test_temporal_targets_round_trip_as_v2(self, data):
+        schedule, target = data
+        wire = json.loads(json.dumps(target_to_wire(target)))
+        assert wire["version"] == 2
+        assert any(len(edge["window"]) == 6 for edge in wire["dag"]["edges"])
+        restored = target_from_wire(wire)
+        assert restored.fingerprint == target.fingerprint
+        assert restored.dag.canonical_form() == target.dag.canonical_form()
+
+    @given(data=generator_schedules(temporal=True))
+    @settings(max_examples=10, deadline=None)
+    def test_temporal_schedule_round_trip_preserves_frame_buffers(self, data):
+        schedule, target = data
+        payload = json.loads(json.dumps(schedule_to_wire(schedule)))
+        restored = schedule_from_wire(payload, target.dag)
+        assert restored.frame_buffers == schedule.frame_buffers
+        assert all(
+            isinstance(config, FrameBufferConfig)
+            for config in restored.frame_buffers.values()
+        )
+        assert accelerator_report(restored).row() == accelerator_report(schedule).row()

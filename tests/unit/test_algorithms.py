@@ -81,15 +81,36 @@ class TestRegistration:
         with pytest.raises(ReproError):
             register_algorithm("unsharp-m", "collides with a built-in", lambda: None)
 
-    def test_overwrite_allows_replacement(self):
+    def test_duplicate_custom_name_rejected_without_replace(self):
+        from tests.conftest import build_chain, build_two_consumer
+
+        register_algorithm("custom-dup", "first", build_chain)
+        try:
+            with pytest.raises(ReproError, match="replace=True"):
+                register_algorithm("custom-dup", "second", build_two_consumer)
+            assert algorithm_info("custom-dup").description == "first"
+        finally:
+            unregister_algorithm("custom-dup")
+
+    def test_replace_allows_replacement(self):
         from tests.conftest import build_chain, build_two_consumer
 
         register_algorithm("custom-ovw", "first", build_chain)
         try:
-            register_algorithm("custom-ovw", "second", build_two_consumer, overwrite=True)
+            register_algorithm("custom-ovw", "second", build_two_consumer, replace=True)
             assert algorithm_info("custom-ovw").description == "second"
         finally:
             unregister_algorithm("custom-ovw")
+
+    def test_overwrite_still_accepted_as_alias(self):
+        from tests.conftest import build_chain, build_two_consumer
+
+        register_algorithm("custom-ovw2", "first", build_chain)
+        try:
+            register_algorithm("custom-ovw2", "second", build_two_consumer, overwrite=True)
+            assert algorithm_info("custom-ovw2").description == "second"
+        finally:
+            unregister_algorithm("custom-ovw2")
 
     def test_registration_does_not_change_table3(self):
         from tests.conftest import build_chain
@@ -109,6 +130,22 @@ class TestRegistration:
         with pytest.raises(ReproError, match="built-in"):
             unregister_algorithm("unsharp-m")
         assert "unsharp-m" in algorithm_names()
+
+
+class TestTemporalSuite:
+    def test_temporal_algorithms_resolvable_but_not_in_table3(self):
+        from repro.algorithms import TEMPORAL_ALGORITHM_NAMES
+
+        table3_names = {row["algorithm"] for row in table3()}
+        for name in TEMPORAL_ALGORITHM_NAMES:
+            assert name in algorithm_names()
+            assert name not in ALGORITHM_NAMES
+            assert name not in table3_names
+            dag = build_algorithm(name)
+            assert dag.is_temporal()
+            info = algorithm_info(name)
+            assert len(dag) == info.expected_stages
+            assert len(dag.multi_consumer_stages()) == info.expected_multi_consumer_stages
 
 
 class TestFunctionalBehaviour:

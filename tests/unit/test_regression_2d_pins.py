@@ -1,0 +1,62 @@
+"""Byte-stability pins for the pre-temporal (pure 2-D) surface.
+
+``tests/data/regression_2d_pins.json`` was captured *before* the time axis
+was added to the stencil data model.  Every pin must keep matching bit-for-bit
+afterwards: compile fingerprints (per generator), the canonical wire payload
+bytes and its stamped version, and the golden replay digests.  A mismatch
+means the temporal refactor moved the hash of a purely spatial design — which
+would silently invalidate every production cache and pinned digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.api.target import CompileTarget
+from repro.service.wire import target_to_wire
+from repro.sim.batch import replay_frames
+
+PINS_PATH = Path(__file__).parent.parent / "data" / "regression_2d_pins.json"
+PINS = json.loads(PINS_PATH.read_text())
+
+PIN_WIDTH = 64
+PIN_HEIGHT = 48
+GENERATORS = ("imagen", "soda", "darkroom", "fixynn")
+
+
+def _target(name: str) -> CompileTarget:
+    return CompileTarget(
+        dag=build_algorithm(name), image_width=PIN_WIDTH, image_height=PIN_HEIGHT
+    )
+
+
+@pytest.mark.parametrize("name", sorted(PINS))
+def test_compile_fingerprints_pinned(name):
+    target = _target(name)
+    for generator in GENERATORS:
+        assert (
+            target.with_generator(generator).fingerprint
+            == PINS[name][f"fingerprint:{generator}"]
+        ), f"{name} fingerprint moved for generator {generator}"
+
+
+@pytest.mark.parametrize("name", sorted(PINS))
+def test_wire_payload_pinned(name):
+    wire = target_to_wire(_target(name))
+    assert wire["version"] == PINS[name]["wire_version"]
+    canonical = json.dumps(wire, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    digest = hashlib.sha256(canonical).hexdigest()
+    assert digest == PINS[name]["wire_sha256"], f"{name} wire payload bytes moved"
+
+
+@pytest.mark.parametrize("name", sorted(PINS))
+def test_golden_digest_pinned(name):
+    replay = replay_frames(
+        build_algorithm(name), PIN_WIDTH, PIN_HEIGHT, frames=2, seed=0
+    )
+    assert replay.digest == PINS[name]["golden_digest"], f"{name} golden digest moved"

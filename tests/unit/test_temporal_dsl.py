@@ -1,0 +1,110 @@
+"""Temporal surface of the DSL: parser syntax, builder helpers, evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsl import ast, parse_pipeline
+from repro.dsl.ast import evaluate, stencil_windows
+from repro.dsl.builder import (
+    PipelineBuilder,
+    frame_difference,
+    temporal_average,
+)
+from repro.errors import DSLSemanticError, DSLSyntaxError
+
+
+class TestParserTemporalSyntax:
+    def test_three_axis_header_and_offsets(self):
+        dag = parse_pipeline(
+            "input F0; output D = im(x,y,t) abs(F0(x,y,t) - F0(x,y,t-1)) end"
+        )
+        assert dag.is_temporal()
+        assert dag.temporal_depth() == 1
+
+    def test_prev_sugar(self):
+        dag = parse_pipeline(
+            "input F0; output D = im(x,y,t) abs(F0(x,y,t) - prev(F0, 2)) end"
+        )
+        assert dag.temporal_depth() == 2
+
+    def test_prev_requires_positive_frames(self):
+        with pytest.raises(DSLSyntaxError):
+            parse_pipeline("input F0; output D = im(x,y,t) prev(F0, 0) end")
+
+    def test_frame_offset_without_temporal_header_rejected(self):
+        with pytest.raises(DSLSyntaxError, match="im\\(x, y, t\\)"):
+            parse_pipeline("input F0; output D = im(x,y) F0(x,y,t-1) end")
+
+    def test_two_axis_pipelines_unchanged(self):
+        dag = parse_pipeline(
+            "input F0; output D = im(x,y) F0(x-1,y) + F0(x+1,y) end"
+        )
+        assert not dag.is_temporal()
+
+
+class TestBuilderTemporalHelpers:
+    def test_handle_call_accepts_dt(self):
+        builder = PipelineBuilder("b")
+        f0 = builder.input("F0")
+        ref = f0(0, 0, -2)
+        assert isinstance(ref, ast.StageRef)
+        assert ref.dt == -2
+
+    def test_prev_helper(self):
+        builder = PipelineBuilder("b")
+        f0 = builder.input("F0")
+        assert f0.prev(3).dt == -3
+        with pytest.raises(DSLSemanticError):
+            f0.prev(0)
+
+    def test_temporal_average_window(self):
+        builder = PipelineBuilder("b")
+        f0 = builder.input("F0")
+        expr = temporal_average(f0, 3)
+        window = stencil_windows(expr)["F0"]
+        assert (window.min_dt, window.max_dt) == (-2, 0)
+
+    def test_temporal_average_needs_depth(self):
+        builder = PipelineBuilder("b")
+        f0 = builder.input("F0")
+        with pytest.raises(DSLSemanticError):
+            temporal_average(f0, 0)
+
+    def test_frame_difference_window(self):
+        builder = PipelineBuilder("b")
+        f0 = builder.input("F0")
+        window = stencil_windows(frame_difference(f0, 2))["F0"]
+        assert (window.min_dt, window.max_dt) == (-2, 0)
+
+    def test_stage_ref_str_stable_for_dt_zero(self):
+        assert str(ast.StageRef("K0", 1, -1)) == str(ast.StageRef("K0", 1, -1, 0))
+        assert "t-2" in str(ast.StageRef("K0", 0, 0, -2))
+
+
+class TestTemporalEvaluation:
+    def test_dt_shifts_along_frame_axis_with_clamp(self):
+        frames = np.arange(3 * 2 * 2, dtype=np.float64).reshape(3, 2, 2)
+        expr = ast.StageRef("F0", 0, 0, -1)
+        shifted = evaluate(expr, {"F0": frames})
+        # Frame 0 clamps to itself; frames 1..2 see their predecessor.
+        np.testing.assert_array_equal(shifted[0], frames[0])
+        np.testing.assert_array_equal(shifted[1], frames[0])
+        np.testing.assert_array_equal(shifted[2], frames[1])
+
+    def test_temporal_ref_on_single_frame_rejected(self):
+        image = np.zeros((4, 4))
+        with pytest.raises(DSLSemanticError, match="2-D frame"):
+            evaluate(ast.StageRef("F0", 0, 0, -1), {"F0": image})
+
+    def test_weighted_temporal_average_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        frames = rng.uniform(size=(4, 3, 3))
+        builder = PipelineBuilder("b")
+        f0 = builder.input("F0")
+        expr = temporal_average(f0, 2, weights=(3.0, 1.0))
+        got = evaluate(expr, {"F0": frames})
+        prev = np.concatenate([frames[:1], frames[:-1]])
+        expected = (3.0 * frames + 1.0 * prev) / 4.0
+        np.testing.assert_allclose(got, expected)

@@ -1,0 +1,158 @@
+"""Temporal extensions of the IR: stencil windows, DAG queries, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.dag import PipelineDAG, Stage, window_from_list, window_to_list
+from repro.ir.stencil import StencilWindow
+from repro.ir.validate import MAX_TEMPORAL_DEPTH
+
+
+class TestTemporalStencilWindow:
+    def test_defaults_are_spatial(self):
+        window = StencilWindow(-1, 1, -1, 1)
+        assert window.min_dt == 0 and window.max_dt == 0
+        assert not window.is_temporal
+        assert window.depth == 1
+        assert window.temporal_depth == 0
+
+    def test_temporal_constructor(self):
+        window = StencilWindow.temporal(3, 3, 2)
+        assert (window.min_dx, window.max_dx) == (-1, 1)
+        assert (window.min_dy, window.max_dy) == (-1, 1)
+        assert (window.min_dt, window.max_dt) == (-1, 0)
+        assert window.is_temporal
+        assert window.depth == 2
+        assert window.temporal_depth == 1
+        assert window.size == 3 * 3 * 2
+
+    def test_union_covers_time(self):
+        spatial = StencilWindow(-1, 1, -1, 1)
+        temporal = StencilWindow(0, 0, 0, 0, -2, 0)
+        union = spatial.union(temporal)
+        assert (union.min_dt, union.max_dt) == (-2, 0)
+        assert (union.min_dx, union.max_dx) == (-1, 1)
+
+    def test_spatial_projection(self):
+        window = StencilWindow(-1, 1, 0, 2, -3, 0)
+        assert window.spatial() == StencilWindow(-1, 1, 0, 2)
+
+    def test_str_omits_time_axis_when_spatial(self):
+        assert "x" in str(StencilWindow(-1, 1, -1, 1))
+        assert str(StencilWindow(-1, 1, -1, 1)).count("x") == 1
+        assert str(StencilWindow(-1, 1, -1, 1, -1, 0)).count("x") == 2
+
+    def test_offsets_are_current_frame_only(self):
+        window = StencilWindow(0, 1, 0, 0, -1, 0)
+        assert all(len(offset) == 2 for offset in window.offsets())
+        assert any(offset[0] == -1 for offset in window.offsets3d())
+
+
+class TestWindowListCodec:
+    def test_spatial_round_trip_is_four_elements(self):
+        window = StencilWindow(-2, 2, -1, 1)
+        values = window_to_list(window)
+        assert values == [-2, 2, -1, 1]
+        assert window_from_list(values) == window
+
+    def test_temporal_round_trip_is_six_elements(self):
+        window = StencilWindow(-2, 2, -1, 1, -3, 0)
+        values = window_to_list(window)
+        assert values == [-2, 2, -1, 1, -3, 0]
+        assert window_from_list(values) == window
+
+    def test_bad_lengths_rejected(self):
+        for bad in ([], [1, 2], [1, 2, 3, 4, 5], [1, 2, 3, 4, 5, 6, 7]):
+            with pytest.raises(GraphError):
+                window_from_list(bad)
+
+
+def _temporal_chain(*depths: int) -> PipelineDAG:
+    """K0 -> K1 -> ... where stage i reads its producer ``depths[i]`` frames back."""
+    dag = PipelineDAG("tchain")
+    dag.add_stage(Stage(name="K0", is_input=True))
+    previous = "K0"
+    for index, depth in enumerate(depths, start=1):
+        name = f"K{index}"
+        dag.add_stage(Stage(name=name, is_output=(index == len(depths))))
+        dag.add_edge(previous, name, StencilWindow(0, 0, 0, 0, -depth, 0))
+        previous = name
+    return dag.validated()
+
+
+class TestTemporalDagQueries:
+    def test_spatial_dag_reports_no_time(self):
+        dag = PipelineDAG("s")
+        dag.add_stage(Stage(name="A", is_input=True))
+        dag.add_stage(Stage(name="B", is_output=True))
+        dag.add_edge("A", "B", StencilWindow(-1, 1, -1, 1))
+        dag = dag.validated()
+        assert not dag.is_temporal()
+        assert dag.temporal_depth() == 0
+        assert dag.history_depth() == 0
+        assert dag.frame_depths() == {}
+
+    def test_temporal_depth_is_deepest_single_edge(self):
+        dag = _temporal_chain(1, 2)
+        assert dag.is_temporal()
+        assert dag.temporal_depth() == 2
+        assert dag.frame_depths() == {"K0": 1, "K1": 2}
+
+    def test_history_depth_accumulates_along_paths(self):
+        # K1 reads K0 one frame back, K2 reads K1 two frames back: the output
+        # depends on input frames up to 3 back, though no edge is deeper than 2.
+        dag = _temporal_chain(1, 2)
+        assert dag.history_depth() == 3
+
+    def test_frame_depths_takes_max_over_consumers(self):
+        dag = PipelineDAG("fan")
+        dag.add_stage(Stage(name="A", is_input=True))
+        dag.add_stage(Stage(name="B"))
+        dag.add_stage(Stage(name="C", is_output=True))
+        dag.add_edge("A", "B", StencilWindow(0, 0, 0, 0, -1, 0))
+        dag.add_edge("A", "C", StencilWindow(0, 0, 0, 0, -3, 0))
+        dag.add_edge("B", "C", StencilWindow(0, 0, 0, 0))
+        dag = dag.validated()
+        assert dag.frame_depths() == {"A": 3}
+
+
+class TestTemporalValidation:
+    def test_future_frame_reference_rejected(self):
+        dag = PipelineDAG("future")
+        dag.add_stage(Stage(name="A", is_input=True))
+        dag.add_stage(Stage(name="B", is_output=True))
+        dag.add_edge("A", "B", StencilWindow(0, 0, 0, 0, 0, 1))
+        with pytest.raises(GraphError, match="future"):
+            dag.validated()
+
+    def test_excessive_temporal_depth_rejected(self):
+        dag = PipelineDAG("deep")
+        dag.add_stage(Stage(name="A", is_input=True))
+        dag.add_stage(Stage(name="B", is_output=True))
+        dag.add_edge(
+            "A", "B", StencilWindow(0, 0, 0, 0, -(MAX_TEMPORAL_DEPTH + 1), 0)
+        )
+        with pytest.raises(GraphError):
+            dag.validated()
+
+    def test_max_temporal_depth_is_accepted(self):
+        dag = _temporal_chain(MAX_TEMPORAL_DEPTH)
+        assert dag.temporal_depth() == MAX_TEMPORAL_DEPTH
+
+
+class TestCanonicalFormStability:
+    def test_spatial_canonical_form_has_four_element_windows(self):
+        dag = PipelineDAG("s")
+        dag.add_stage(Stage(name="A", is_input=True))
+        dag.add_stage(Stage(name="B", is_output=True))
+        dag.add_edge("A", "B", StencilWindow(-1, 1, -1, 1))
+        canonical = dag.validated().canonical_form()
+        windows = [edge["window"] for edge in canonical["edges"]]
+        assert all(len(window) == 4 for window in windows)
+
+    def test_temporal_canonical_form_has_six_element_windows(self):
+        canonical = _temporal_chain(1).canonical_form()
+        windows = [edge["window"] for edge in canonical["edges"]]
+        assert all(len(window) == 6 for window in windows)
