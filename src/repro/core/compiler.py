@@ -99,6 +99,14 @@ def _schedule_cached(
     Returns the schedule, its source — ``"memory"``/``"disk"`` for cache
     tiers, ``"solver"`` for a fresh ILP solve (which is then recorded in the
     cache) — and its content fingerprint.
+
+    On a cache miss the cache is additionally asked for a *neighbor*
+    (``fetch_neighbor``): the same DAG solved at another resolution or
+    coalescing selection.  A hit becomes the solver's warm-start hint — the
+    scheduler transfers the neighbor's solution and either certifies it
+    optimal (skipping the ILP) or seeds the branch-and-bound incumbent with
+    it.  Either way the solved schedule is byte-identical to a cold solve;
+    the hint only changes how fast it is found.
     """
     if cache is None:
         schedule = schedule_pipeline(
@@ -111,12 +119,17 @@ def _schedule_cached(
         return schedule, "solver", target.fingerprint
     schedule, source, fingerprint = cache.fetch(target)
     if schedule is None:
+        warm_hint = None
+        fetch_neighbor = getattr(cache, "fetch_neighbor", None)
+        if fetch_neighbor is not None:
+            warm_hint = fetch_neighbor(target)
         schedule = schedule_pipeline(
             target.dag,
             target.image_width,
             target.image_height,
             target.memory_spec,
             target.options,
+            warm_hint=warm_hint,
         )
         cache.put(fingerprint, schedule)
     return schedule, source, fingerprint

@@ -22,6 +22,13 @@ is never solved twice.  Passing an ``engine`` (or ``parallel=N`` /
 the engine's executor backend, failures are captured per point instead of
 aborting the sweep, and the all-DP configuration is served from the cache
 entry the baseline compile warmed.
+
+Serial sweeps (no engine) default to **compound** scheduling: the pending
+variants' ILPs are folded into one block-diagonal model, warm-started from
+the baseline's solution, solved in a single backend call and decomposed back
+into per-variant schedules (``repro.core.scheduler.schedule_compound``).
+Every design stays byte-identical to a solo solve and keeps its own
+fingerprint; pass ``compound=False`` (or an ``engine``) to opt out.
 """
 
 from __future__ import annotations
@@ -120,6 +127,7 @@ def sweep_memory_configurations(
     engine=None,
     parallel: int | None = None,
     executor: str | None = None,
+    compound: bool | None = None,
 ) -> list[DesignPoint]:
     """Compile every DP/DPLC combination and return the evaluated design points.
 
@@ -152,6 +160,19 @@ def sweep_memory_configurations(
         ``executor="process"`` to keep the ``2^k`` fan-out parallel when the
         HiGHS backend is unavailable and thread workers would serialize on
         the GIL.  Ignored when ``engine`` is given.
+    compound:
+        Solve the ``2^k`` variants as one compound model
+        (:func:`repro.core.scheduler.schedule_compound`): the baseline's
+        solution warm-starts every variant — most are *certified* optimal
+        from the transfer alone and never build an ILP — and the remainder
+        are solved as blocks of one block-diagonal model.  The resulting
+        schedules are identical to the per-variant path (the warm transfer
+        only short-circuits provably optimal solutions); per-variant
+        fingerprints still enter the compile cache when one is available.
+        The default (``None``) enables it for the serial path and disables
+        it when an ``engine`` fans the variants out instead; it is forced
+        off for non-big-M scheduler strategies, which the compound solver
+        does not cover.
     """
     if isinstance(pipeline, CompileTarget):
         if image_width is not None or image_height is not None or memory_spec is not None:
@@ -196,7 +217,15 @@ def sweep_memory_configurations(
             dict(zip(configurable, choices))
             for choices in itertools.product(("DP", "DPLC"), repeat=len(configurable))
         ]
-        if engine is not None:
+        use_compound = compound if compound is not None else engine is None
+        if base.options.disjunction_strategy != "bigm":
+            use_compound = False
+        if use_compound:
+            compiled = _compile_compound(
+                base, configurations, baseline,
+                cache=getattr(engine, "cache", None),
+            )
+        elif engine is not None:
             compiled = _compile_with_engine(base, configurations, engine)
         else:
             compiled = _compile_serially(base, configurations, baseline)
@@ -232,6 +261,63 @@ def _compile_serially(
             continue
         accelerator = compile_target(_design_target(base, configuration))
         compiled.append((configuration, accelerator, {}))
+    return compiled
+
+
+def _compile_compound(
+    base: CompileTarget,
+    configurations: list[dict[str, str]],
+    baseline: CompiledAccelerator,
+    cache=None,
+):
+    """Solve every DPLC-bearing configuration as one compound model.
+
+    The all-DP point reuses the baseline compile exactly like the serial
+    path.  Every other configuration becomes one block of a single
+    block-diagonal model, warm-started from the baseline's solution; the
+    decomposed schedules are identical to per-variant solves, and each is
+    recorded in ``cache`` (when given) under its own compile fingerprint so
+    later exact requests hit.
+    """
+    from repro.core.scheduler import schedule_compound
+    from repro.core.warmstart import hint_from_schedule
+
+    variants = [
+        (index, configuration, _design_target(base, configuration))
+        for index, configuration in enumerate(configurations)
+        if any(choice == "DPLC" for choice in configuration.values())
+    ]
+    accelerators: dict[int, CompiledAccelerator] = {}
+    if variants:
+        schedules = schedule_compound(
+            base.dag,
+            base.image_width,
+            base.image_height,
+            base.memory_spec,
+            [target.options for _, _, target in variants],
+            base_hint=hint_from_schedule(baseline.schedule),
+        )
+        for (index, _, target), schedule in zip(variants, schedules):
+            fingerprint = target.fingerprint
+            if cache is not None:
+                cache.put(fingerprint, schedule)
+            accelerators[index] = CompiledAccelerator(
+                schedule=schedule,
+                options=target.options,
+                metadata={
+                    "schedule_sources": ("solver",),
+                    "schedule_fingerprints": (fingerprint,),
+                },
+                target=target,
+            )
+
+    compiled = []
+    for index, configuration in enumerate(configurations):
+        if index in accelerators:
+            compiled.append((configuration, accelerators[index], {}))
+        else:
+            # The baseline compile *is* the all-DP design; reuse it.
+            compiled.append((configuration, baseline, {}))
     return compiled
 
 

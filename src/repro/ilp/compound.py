@@ -1,0 +1,205 @@
+"""Compound (block-diagonal) models: merge N models, solve once, split.
+
+The Fig. 10 DSE sweep solves the ``2^k`` per-stage coalescing variants of one
+pipeline as *independent* ILPs that share all of their structure.  This
+module folds such a family into a single compound model:
+
+* :func:`merge_models` concatenates the source models into one
+  :class:`~repro.ilp.model.Model`.  Each source becomes one *block*: its
+  variables are namespaced ``v{i}:`` (so ``S[gauss]`` of variant 3 is
+  ``v3:S[gauss]``), its constraints are copied over the mapped variables, and
+  the compound objective is the sum of the block objectives.  No constraint
+  ever crosses blocks — the compound model is block-diagonal by construction.
+* :func:`solve_compound` is the single solver entry point for such a model.
+  It verifies block-separability, re-splits the model into its blocks, solves
+  each with the regular backend stack (warm starts included) and stitches the
+  block solutions into one combined :class:`~repro.ilp.model.SolveResult`.
+  Because every block is solved by the same exact backends a standalone model
+  would use — same variable order, same constraint order — the per-block
+  solutions are identical to solving the source models one by one; the
+  decomposition changes *where* the work happens, never the answer.
+
+The split/solve loop runs under one ``ilp_compound`` trace span whose
+``blocks``/``block_solves`` attrs let the metrics layer distinguish one
+compound solve from N independent ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ILPError
+from repro.ilp.expr import LinExpr, Variable
+from repro.ilp.model import Constraint, Model, SolveResult, SolveStatus, WarmStart
+from repro.ilp.solver import solve
+from repro.trace import span_attr, trace_span
+
+
+@dataclass(frozen=True)
+class CompoundBlock:
+    """One source model's slice of a compound model."""
+
+    index: int
+    #: Name of the source model (restored on the split sub-model).
+    name: str
+    #: Compound-model variables, in the source model's variable order.
+    variables: tuple[Variable, ...]
+    #: Constant term of the source objective (re-attached on split).
+    objective_constant: float = 0.0
+
+    @property
+    def prefix(self) -> str:
+        return f"v{self.index}:"
+
+
+def merge_models(models: list[Model], name: str = "compound") -> tuple[Model, list[CompoundBlock]]:
+    """Concatenate independent models into one block-diagonal compound model."""
+    if not models:
+        raise ILPError("merge_models needs at least one model")
+    sense = models[0].sense
+    if any(model.sense != sense for model in models):
+        raise ILPError("All models of a compound must share the objective sense")
+
+    compound = Model(name=name, sense=sense)
+    blocks: list[CompoundBlock] = []
+    objective = LinExpr()
+    for index, source in enumerate(models):
+        prefix = f"v{index}:"
+        mapping: dict[Variable, Variable] = {}
+        for var in source.variables:
+            mapping[var] = compound.add_var(
+                prefix + var.name, lb=var.lb, ub=var.ub, integer=var.integer
+            )
+        for constraint in source.constraints:
+            expr = LinExpr(
+                {mapping[var]: coeff for var, coeff in constraint.expr.coeffs.items()}, 0.0
+            )
+            compound.add_constraint(
+                Constraint(expr=expr, sense=constraint.sense, rhs=constraint.rhs),
+                name=prefix + constraint.name if constraint.name else "",
+            )
+        for var, coeff in source.objective.coeffs.items():
+            objective.coeffs[mapping[var]] = objective.coeffs.get(mapping[var], 0.0) + coeff
+        objective.constant += source.objective.constant
+        blocks.append(
+            CompoundBlock(
+                index=index,
+                name=source.name,
+                variables=tuple(mapping[var] for var in source.variables),
+                objective_constant=source.objective.constant,
+            )
+        )
+    compound.set_objective(objective)
+    return compound, blocks
+
+
+def split_block(compound: Model, block: CompoundBlock) -> Model:
+    """Rebuild one block of a compound model as a standalone model.
+
+    The sub-model mirrors the source model that :func:`merge_models` consumed:
+    same variable order, bounds and integrality (names stripped of the block
+    prefix), same constraint order, and the block's share of the objective.
+    """
+    sub = Model(name=block.name, sense=compound.sense)
+    mapping: dict[Variable, Variable] = {}
+    for var in block.variables:
+        local_name = var.name[len(block.prefix):] if var.name.startswith(block.prefix) else var.name
+        mapping[var] = sub.add_var(local_name, lb=var.lb, ub=var.ub, integer=var.integer)
+
+    owned = set(block.variables)
+    for constraint in compound.constraints:
+        used = constraint.expr.variables()
+        if not used or not all(var in owned for var in used):
+            continue
+        expr = LinExpr(
+            {mapping[var]: coeff for var, coeff in constraint.expr.coeffs.items()}, 0.0
+        )
+        local_name = constraint.name
+        if local_name.startswith(block.prefix):
+            local_name = local_name[len(block.prefix):]
+        sub.add_constraint(
+            Constraint(expr=expr, sense=constraint.sense, rhs=constraint.rhs), name=local_name
+        )
+
+    objective = LinExpr(constant=block.objective_constant)
+    for var, coeff in compound.objective.coeffs.items():
+        if var in owned:
+            objective.coeffs[mapping[var]] = coeff
+    sub.set_objective(objective)
+    return sub
+
+
+def _check_separable(compound: Model, blocks: list[CompoundBlock]) -> None:
+    owner: dict[Variable, int] = {}
+    for block in blocks:
+        for var in block.variables:
+            if var in owner:
+                raise ILPError(f"Variable {var.name!r} is claimed by two compound blocks")
+            owner[var] = block.index
+    for var in compound.variables:
+        if var not in owner:
+            raise ILPError(f"Variable {var.name!r} belongs to no compound block")
+    for constraint in compound.constraints:
+        indices = {owner[var] for var in constraint.expr.variables()}
+        if len(indices) > 1:
+            raise ILPError(
+                f"Constraint {constraint.name or constraint!r} couples blocks {sorted(indices)}; "
+                "the compound model is not block-separable"
+            )
+
+
+def solve_compound(
+    compound: Model,
+    blocks: list[CompoundBlock],
+    *,
+    backend: str = "auto",
+    warm_starts: list[WarmStart | None] | None = None,
+    raise_on_failure: bool = False,
+) -> tuple[SolveResult, list[SolveResult]]:
+    """Solve a block-diagonal compound model in one call.
+
+    Returns ``(combined, per_block)``: the combined result carries values for
+    every compound variable and the summed objective; ``per_block`` holds each
+    block's own :class:`SolveResult` over the split sub-model's variables.
+    The combined status is OPTIMAL only when every block is; otherwise it is
+    the first failing block's status (objective ``None``).
+    """
+    _check_separable(compound, blocks)
+    if warm_starts is not None and len(warm_starts) != len(blocks):
+        raise ILPError(
+            f"warm_starts has {len(warm_starts)} entries for {len(blocks)} blocks"
+        )
+
+    per_block: list[SolveResult] = []
+    values: dict[Variable, float] = {}
+    failing: SolveStatus | None = None
+    message = ""
+    iterations = nodes = pruned = 0
+    with trace_span("ilp_compound", blocks=len(blocks)):
+        for block in blocks:
+            sub = split_block(compound, block)
+            warm = warm_starts[block.index] if warm_starts is not None else None
+            result = solve(sub, backend, warm_start=warm, raise_on_failure=raise_on_failure)
+            per_block.append(result)
+            iterations += result.iterations
+            nodes += result.nodes
+            pruned += result.pruned
+            if result.status is SolveStatus.OPTIMAL:
+                for position, var in enumerate(block.variables):
+                    values[var] = result.values[sub.variables[position]]
+            elif failing is None:
+                failing = result.status
+                message = f"block {block.index} ({block.name!r}) is {result.status.value}"
+        span_attr(block_solves=len(per_block), status=(failing or SolveStatus.OPTIMAL).value)
+
+    combined = SolveResult(
+        status=failing or SolveStatus.OPTIMAL,
+        objective=None if failing else compound.objective_value(values),
+        values=values if failing is None else {},
+        backend=f"compound[{len(blocks)}]",
+        iterations=iterations,
+        message=message,
+        nodes=nodes,
+        pruned=pruned,
+    )
+    return combined, per_block

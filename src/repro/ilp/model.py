@@ -58,6 +58,22 @@ class Constraint:
         return f"{label}{self.expr!r} {self.sense} {self.rhs:g}"
 
 
+@dataclass(frozen=True)
+class WarmStart:
+    """An incumbent assignment handed to a solver before the search starts.
+
+    ``values`` may be keyed by :class:`~repro.ilp.expr.Variable` or by
+    variable *name* — name keys let a caller seed a model it did not build
+    itself (e.g. a block of a compound model).  ``objective`` is optional; a
+    solver recomputes it from the model when absent.  An infeasible or
+    incomplete warm start is *rejected*, never an error: the solve proceeds
+    cold and reports ``warm_start="rejected"`` on its result.
+    """
+
+    values: Mapping[Variable | str, float]
+    objective: float | None = None
+
+
 @dataclass
 class SolveResult:
     """Outcome of solving a model."""
@@ -68,6 +84,16 @@ class SolveResult:
     backend: str = ""
     iterations: int = 0
     message: str = ""
+    #: Branch-and-bound nodes whose LP relaxation was solved (0 for backends
+    #: that do not expose a node count).
+    nodes: int = 0
+    #: Nodes discarded by the incumbent bound without an LP solve.
+    pruned: int = 0
+    #: Warm-start disposition: ``"none"`` (no hint offered), ``"rejected"``
+    #: (hint infeasible/incomplete), ``"seeded"`` (hint accepted, a strictly
+    #: better solution was found anyway) or ``"incumbent"`` (hint accepted and
+    #: returned as the proven optimum).
+    warm_start: str = "none"
 
     @property
     def is_optimal(self) -> bool:

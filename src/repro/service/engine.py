@@ -9,6 +9,11 @@ the :class:`repro.api.CompileTarget`; every submission path wraps
 * every generator run goes through a shared :class:`CompileCache`, so
   repeated targets (interactive clients, DSE sweeps, the auto-coalescing
   fallback, baseline comparisons) are answered without re-running anything;
+  on a miss the cache still helps: its nearest same-DAG entry
+  (:meth:`CompileCache.fetch_neighbor`) warm-starts the scheduling ILP,
+  which certifies most resolution/option neighbors outright and seeds the
+  branch-and-bound otherwise (``ilp_warm_*`` counters on ``/v1/metrics``,
+  ``neighbor_*`` on ``/v1/cache/stats``);
 * identical in-flight targets are deduplicated — concurrent batches that
   contain the same design point trigger exactly one run;
 * batches fan out over a pluggable :class:`repro.service.executor`
@@ -33,7 +38,9 @@ forecast: the engine background-submits the same design point at the other
 evaluation resolutions (320p/1080p by default) and with the coalescing flag
 toggled, so an interactive client stepping through the paper's design axes
 finds every next request already cached.  The in-flight dedup table makes
-speculation free when the client races it to the same fingerprint.
+speculation free when the client races it to the same fingerprint, and the
+first resolution solved warm-starts the speculative siblings through the
+cache's neighbor lookup.
 
 Admission control
 -----------------

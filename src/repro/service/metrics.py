@@ -135,6 +135,19 @@ class EngineMetrics:
     errors: int = 0
     batches: int = 0
     total_seconds: float = 0.0
+    # ILP solver effectiveness, aggregated from ``ilp``/``ilp_compound`` span
+    # attrs by observe_spans: how many solves ran, how many were avoided
+    # outright by a warm-start certificate, how many were seeded, how the
+    # backend races went, and how much the branch-and-bound pruned.
+    ilp_solves: int = 0
+    ilp_warm_certificates: int = 0
+    ilp_warm_seeded: int = 0
+    ilp_races: int = 0
+    ilp_race_wins_python: int = 0
+    ilp_race_wins_highs: int = 0
+    ilp_pruned_nodes: int = 0
+    ilp_compound_solves: int = 0
+    ilp_compound_blocks: int = 0
     recent: deque = field(default_factory=lambda: deque(maxlen=256))
     stages: dict = field(
         default_factory=lambda: {name: StageHistogram() for name in DEFAULT_STAGES}
@@ -170,6 +183,8 @@ class EngineMetrics:
         Every span in the forest — children included — is counted under its
         own name, so nested stages (``ilp`` inside ``solve``) each get their
         own histogram.  Unknown stage names create histograms on demand.
+        ``ilp``/``ilp_compound`` spans additionally feed the solver counters
+        (warm-start certificates and seeds, race outcomes, pruned nodes).
         """
         if not spans:
             return
@@ -180,6 +195,33 @@ class EngineMetrics:
                 if histogram is None:
                     histogram = self.stages[span.name] = StageHistogram()
                 histogram.observe(span.seconds)
+                if span.name == "ilp":
+                    self._observe_ilp(span.attrs)
+                elif span.name == "ilp_compound":
+                    self.ilp_compound_solves += 1
+                    self.ilp_compound_blocks += int(
+                        span.attrs.get("block_solves", span.attrs.get("blocks", 0)) or 0
+                    )
+
+    def _observe_ilp(self, attrs: dict) -> None:
+        """Fold one ``ilp`` span's attrs into the solver counters (lock held)."""
+        self.ilp_solves += 1
+        warm = attrs.get("warm_start")
+        if warm == "certificate":
+            self.ilp_warm_certificates += 1
+        elif warm in ("seeded", "incumbent"):
+            self.ilp_warm_seeded += 1
+        try:
+            self.ilp_pruned_nodes += int(attrs.get("bnb_pruned", 0) or 0)
+        except (TypeError, ValueError):
+            pass
+        winner = attrs.get("race_winner")
+        if winner is not None:
+            self.ilp_races += 1
+            if winner == "python":
+                self.ilp_race_wins_python += 1
+            elif winner == "highs":
+                self.ilp_race_wins_highs += 1
 
     def stage_histograms(self) -> dict[str, dict]:
         """Snapshot of every stage histogram (cumulative-bucket form)."""
@@ -250,5 +292,14 @@ class EngineMetrics:
                 "p95_seconds_compiled": round(self._percentile_of(compiled, 0.95), 6),
                 "p50_seconds_served_from_cache": round(self._percentile_of(cached, 0.50), 6),
                 "p95_seconds_served_from_cache": round(self._percentile_of(cached, 0.95), 6),
+                "ilp_solves": self.ilp_solves,
+                "ilp_warm_certificates": self.ilp_warm_certificates,
+                "ilp_warm_seeded": self.ilp_warm_seeded,
+                "ilp_races": self.ilp_races,
+                "ilp_race_wins_python": self.ilp_race_wins_python,
+                "ilp_race_wins_highs": self.ilp_race_wins_highs,
+                "ilp_pruned_nodes": self.ilp_pruned_nodes,
+                "ilp_compound_solves": self.ilp_compound_solves,
+                "ilp_compound_blocks": self.ilp_compound_blocks,
                 "stage_seconds": stage_seconds,
             }

@@ -147,6 +147,16 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
     MetricSpec("p95_seconds_served_from_cache", "gauge", "seconds", _LATENCY_HELP, prometheus='repro_latency_seconds{stat="p95",class="served_from_cache"}'),
     # -- per-stage spans -----------------------------------------------------
     MetricSpec("stage_seconds", "histogram", "seconds", "Per-stage span durations (cache/solve/allocate/rtl and nested stages); JSON carries count/sum/mean per stage, the exposition carries full histograms.", prometheus=STAGE_HISTOGRAM_FAMILY + '{stage="..."}'),
+    # -- ILP solver effectiveness (EngineMetrics, from ilp/ilp_compound spans)
+    MetricSpec("ilp_solves", "counter", "", "ILP backend invocations observed in request spans (warm-start certificates included as zero-cost solves).", prometheus="repro_ilp_solves_total"),
+    MetricSpec("ilp_warm_certificates", "counter", "", "Solves short-circuited by a warm-start transfer certified optimal (no model built).", prometheus="repro_ilp_warm_certificates_total"),
+    MetricSpec("ilp_warm_seeded", "counter", "", "Solves whose branch-and-bound was seeded with a warm-start incumbent (seeded or returned as incumbent).", prometheus="repro_ilp_warm_seeded_total"),
+    MetricSpec("ilp_races", "counter", "", "Solves run as a backend race (python vs HiGHS, first finisher wins).", prometheus="repro_ilp_races_total"),
+    MetricSpec("ilp_race_wins_python", "counter", "", "Backend races won by the pure-Python branch-and-bound.", prometheus="repro_ilp_race_wins_python_total"),
+    MetricSpec("ilp_race_wins_highs", "counter", "", "Backend races won by the HiGHS backend.", prometheus="repro_ilp_race_wins_highs_total"),
+    MetricSpec("ilp_pruned_nodes", "counter", "", "Branch-and-bound nodes pruned by bound across observed solves.", prometheus="repro_ilp_pruned_nodes_total"),
+    MetricSpec("ilp_compound_solves", "counter", "", "Compound (block-diagonal) model solves, each covering many design variants.", prometheus="repro_ilp_compound_solves_total"),
+    MetricSpec("ilp_compound_blocks", "counter", "", "Blocks solved inside compound models (variants not already certified).", prometheus="repro_ilp_compound_blocks_total"),
     # -- executor backend (ExecutorBackend.stats) ----------------------------
     MetricSpec("executor", "info", "", "Active execution backend name (label on repro_service_info)."),
     MetricSpec("workers", "gauge", "workers", "Live worker count (autoscalers report the current fleet).", prometheus="repro_workers"),
@@ -191,6 +201,8 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
     MetricSpec("stores", "counter", "", "Freshly solved schedules recorded in the cache.", prometheus="repro_cache_stores_total", endpoint="/v1/cache/stats"),
     MetricSpec("disk_hits", "counter", "", "Hits served by the disk tier (promoted into memory).", prometheus="repro_cache_disk_hits_total", endpoint="/v1/cache/stats"),
     MetricSpec("disk_stores", "counter", "", "Schedules persisted to the disk tier.", prometheus="repro_cache_disk_stores_total", endpoint="/v1/cache/stats"),
+    MetricSpec("neighbor_hits", "counter", "", "Warm-start neighbor lookups that found a same-DAG schedule to seed the solver.", prometheus="repro_cache_neighbor_hits_total", endpoint="/v1/cache/stats"),
+    MetricSpec("neighbor_misses", "counter", "", "Warm-start neighbor lookups that found no usable same-DAG schedule.", prometheus="repro_cache_neighbor_misses_total", endpoint="/v1/cache/stats"),
     MetricSpec("hit_rate", "gauge", "", "hits / (hits + misses) since start.", prometheus="repro_cache_hit_rate", endpoint="/v1/cache/stats"),
     MetricSpec("disk_entries", "gauge", "", "Entries in the disk tier (present with --cache-dir).", prometheus="repro_cache_disk_entries", endpoint="/v1/cache/stats"),
     MetricSpec("disk_directory", "info", "", "Disk-tier directory (present with --cache-dir).", endpoint="/v1/cache/stats"),

@@ -143,3 +143,230 @@ class TestFacade:
         if is_available():
             highs_result = solve(model, backend="highs")
             assert highs_result.objective == pytest.approx(python_result.objective)
+
+
+class TestNodeOrdering:
+    def test_equal_priority_nodes_stay_out_of_array_comparison(self):
+        # Regression: _Node used to include its numpy bound arrays in the
+        # dataclass ordering, so two nodes tying on (bound, tiebreak) made
+        # heapq compare arrays elementwise and raise. The arrays must be
+        # excluded from comparisons entirely.
+        import heapq
+
+        import numpy as np
+
+        from repro.ilp.branch_and_bound import _Node
+
+        lb, ub = np.zeros(3), np.ones(3)
+        a = _Node(bound=1.0, tiebreak=7, lb=lb, ub=ub)
+        b = _Node(bound=1.0, tiebreak=7, lb=lb + 1.0, ub=ub + 1.0)
+        assert not (a < b) and not (b < a)  # ties resolve without the arrays
+        heap = []
+        heapq.heappush(heap, _Node(bound=1.0, tiebreak=0, lb=lb.copy(), ub=ub.copy()))
+        heapq.heappush(heap, _Node(bound=1.0, tiebreak=1, lb=lb.copy(), ub=ub.copy()))
+        assert heapq.heappop(heap).tiebreak == 0
+
+
+class TestWarmStarts:
+    def test_optimal_hint_returned_as_incumbent(self):
+        from repro.ilp.model import WarmStart
+
+        model, (a, b, c) = knapsack_model()
+        result = solve_branch_and_bound(
+            model, warm_start=WarmStart(values={"a": 1.0, "b": 0.0, "c": 1.0})
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(14.0)
+        assert result.value(a) == 1 and result.value(b) == 0 and result.value(c) == 1
+        assert result.warm_start == "incumbent"  # nothing strictly better exists
+
+    def test_suboptimal_hint_is_seeded_then_beaten(self):
+        from repro.ilp.model import WarmStart
+
+        model, (a, b, c) = knapsack_model()
+        result = solve_branch_and_bound(
+            model, warm_start=WarmStart(values={a: 0.0, b: 1.0, c: 0.0})
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(14.0)
+        assert result.warm_start == "seeded"
+
+    def test_infeasible_hint_is_rejected(self):
+        from repro.ilp.model import WarmStart
+
+        model, _ = knapsack_model()
+        result = solve_branch_and_bound(
+            model, warm_start=WarmStart(values={"a": 1.0, "b": 1.0, "c": 1.0})
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(14.0)
+        assert result.warm_start == "rejected"
+
+    def test_incomplete_hint_is_rejected(self):
+        from repro.ilp.model import WarmStart
+
+        model, _ = knapsack_model()
+        result = solve_branch_and_bound(model, warm_start=WarmStart(values={"a": 1.0}))
+        assert result.warm_start == "rejected"
+        assert result.objective == pytest.approx(14.0)
+
+    def test_counters_present(self):
+        model, _ = scheduling_like_model()
+        result = solve_branch_and_bound(model)
+        assert result.nodes >= 1
+        assert result.pruned >= 0
+        assert result.warm_start == "none"
+
+
+class TestCancellation:
+    def test_preset_cancel_event_aborts_before_first_node(self):
+        import threading
+
+        from repro.errors import SolverCancelled
+
+        model, _ = scheduling_like_model()
+        cancel = threading.Event()
+        cancel.set()
+        with pytest.raises(SolverCancelled):
+            solve_branch_and_bound(model, cancel=cancel)
+
+
+class TestBackendResolution:
+    def test_env_var_drives_auto(self, monkeypatch):
+        from repro.ilp.solver import BACKEND_ENV_VAR, resolve_backend
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert resolve_backend("auto") == "python"
+
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        from repro.ilp.solver import BACKEND_ENV_VAR, resolve_backend
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert resolve_backend("highs") == "highs"
+
+    def test_unknown_env_value_raises(self, monkeypatch):
+        from repro.ilp.solver import BACKEND_ENV_VAR, resolve_backend
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gurobi")
+        with pytest.raises(SolverError):
+            resolve_backend("auto")
+
+    def test_race_listed_only_with_highs(self):
+        backends = available_backends()
+        assert ("race" in backends) == is_available()
+
+
+class TestRacing:
+    def test_race_solves_correctly(self):
+        from repro.ilp.solver import solve_racing
+
+        model, _ = knapsack_model()
+        result = solve_racing(model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(14.0)
+        if is_available():
+            assert result.backend.startswith("race:")
+        else:
+            assert result.backend == "python"  # single-contestant degradation
+
+    def test_race_agrees_on_infeasible(self):
+        from repro.ilp.solver import solve_racing
+
+        model = Model()
+        x = model.add_integer_var("x", lb=0, ub=3)
+        model.add_constraint(x >= 5)
+        assert solve_racing(model).status is SolveStatus.INFEASIBLE
+
+    def test_race_with_warm_start(self):
+        from repro.ilp.model import WarmStart
+        from repro.ilp.solver import solve_racing
+
+        model, _ = knapsack_model()
+        result = solve_racing(
+            model, warm_start=WarmStart(values={"a": 1.0, "b": 0.0, "c": 1.0})
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(14.0)
+
+
+class TestCompound:
+    def _models(self):
+        first, _ = scheduling_like_model()
+        second, _ = knapsack_model()
+        # Compound models must share a sense; flip the knapsack to min of the
+        # negated objective so the pair is mergeable.
+        negated = Model("neg-knapsack")
+        a = negated.add_binary_var("a")
+        b = negated.add_binary_var("b")
+        c = negated.add_binary_var("c")
+        negated.add_constraint(a + b + c <= 2)
+        negated.add_constraint(5 * a + 4 * b + 3 * c <= 8)
+        negated.set_objective(-10 * a - 6 * b - 4 * c)
+        return first, negated
+
+    def test_merge_solve_split_matches_solo(self):
+        from repro.ilp.compound import merge_models, solve_compound
+
+        first, second = self._models()
+        compound, blocks = merge_models([first, second])
+        assert compound.num_variables == first.num_variables + second.num_variables
+        combined, per_block = solve_compound(compound, blocks, backend="python")
+        assert combined.status is SolveStatus.OPTIMAL
+        solo = [solve(first, backend="python"), solve(second, backend="python")]
+        assert combined.objective == pytest.approx(sum(r.objective for r in solo))
+        for block_result, solo_result in zip(per_block, solo):
+            assert block_result.objective == pytest.approx(solo_result.objective)
+
+    def test_split_block_restores_names(self):
+        from repro.ilp.compound import merge_models, split_block
+
+        first, second = self._models()
+        compound, blocks = merge_models([first, second])
+        sub = split_block(compound, blocks[0])
+        assert [var.name for var in sub.variables] == [var.name for var in first.variables]
+        assert sub.num_constraints == first.num_constraints
+
+    def test_mixed_sense_rejected(self):
+        from repro.errors import ILPError
+        from repro.ilp.compound import merge_models
+
+        first, _ = scheduling_like_model()
+        second, _ = knapsack_model()  # max-sense
+        with pytest.raises(ILPError):
+            merge_models([first, second])
+
+    def test_cross_block_coupling_rejected(self):
+        from repro.errors import ILPError
+        from repro.ilp.compound import merge_models, solve_compound
+
+        first, second = self._models()
+        compound, blocks = merge_models([first, second])
+        x0 = compound.variables[0]
+        y0 = blocks[1].variables[0]
+        compound.add_constraint(x0 + y0 >= 0)
+        with pytest.raises(ILPError):
+            solve_compound(compound, blocks)
+
+    def test_warm_start_count_mismatch_rejected(self):
+        from repro.errors import ILPError
+        from repro.ilp.compound import merge_models, solve_compound
+
+        first, second = self._models()
+        compound, blocks = merge_models([first, second])
+        with pytest.raises(ILPError):
+            solve_compound(compound, blocks, warm_starts=[None])
+
+    def test_infeasible_block_poisons_combined_status(self):
+        from repro.ilp.compound import merge_models, solve_compound
+
+        feasible, _ = scheduling_like_model()
+        infeasible = Model("impossible")
+        x = infeasible.add_integer_var("x", lb=0, ub=3)
+        infeasible.add_constraint(x >= 5)
+        infeasible.set_objective(x + 0)
+        compound, blocks = merge_models([feasible, infeasible])
+        combined, per_block = solve_compound(compound, blocks, backend="python")
+        assert combined.status is SolveStatus.INFEASIBLE
+        assert combined.objective is None
+        assert per_block[0].status is SolveStatus.OPTIMAL
+        assert per_block[1].status is SolveStatus.INFEASIBLE
