@@ -8,7 +8,15 @@ for the code generator: it tokenises the source just enough to check that
 * every named port connection of an instance exists on the target module,
 * identifiers used in instance connections are declared somewhere in the
   instantiating module (wire/reg/port),
+* when both the target port and a plainly-connected identifier have numeric
+  literal ranges, the two widths agree,
 * there is exactly one top-level module that nobody instantiates.
+
+Port declarations may list several identifiers (``input wire a, b``); every
+name in the list is registered.  Width checks are deliberately conservative:
+only connections whose expression is a bare identifier are compared, and only
+when both ends resolve to a constant ``[msb:lsb]`` range (or no range, which
+is one bit) — parameterised ranges and arithmetic expressions are skipped.
 """
 
 from __future__ import annotations
@@ -22,10 +30,19 @@ _INSTANCE_RE = re.compile(
     re.MULTILINE,
 )
 _PORT_DECL_RE = re.compile(
-    r"\b(?:input|output|inout)\b\s+(?:wire|reg)?\s*(?:signed)?\s*(?:\[[^\]]*\]\s*)?"
-    r"([A-Za-z_][A-Za-z0-9_$]*)"
+    r"\b(?:input|output|inout)\b\s+(?:(?:wire|reg)\s+)?(?:signed\s+)?(\[[^\]]*\])?\s*"
+    r"([A-Za-z_][A-Za-z0-9_$]*(?:\s*,\s*(?!(?:input|output|inout|wire|reg)\b)"
+    r"[A-Za-z_][A-Za-z0-9_$]*)*)"
+)
+_SIGNAL_DECL_RE = re.compile(
+    r"\b(?:wire|reg)\b\s*(?:signed\s+)?(\[[^\]]*\])?\s*"
+    r"([A-Za-z_][A-Za-z0-9_$]*(?:\s*,\s*(?!(?:input|output|inout|wire|reg)\b)"
+    r"[A-Za-z_][A-Za-z0-9_$]*)*)"
 )
 _PORT_CONNECT_RE = re.compile(r"\.([A-Za-z_][A-Za-z0-9_$]*)\s*\(")
+_PORT_CONNECT_EXPR_RE = re.compile(r"\.([A-Za-z_][A-Za-z0-9_$]*)\s*\(\s*([^()]*?)\s*\)")
+_RANGE_RE = re.compile(r"\[\s*(\d+)\s*:\s*(\d+)\s*\]")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
 
 _KEYWORDS_WITH_BEGIN = ("begin",)
 
@@ -58,6 +75,34 @@ def _module_bodies(source: str) -> dict[str, str]:
     return bodies
 
 
+def _range_width(range_text: str | None) -> int | None:
+    """Bit width of a ``[msb:lsb]`` range; 1 when absent; None when symbolic."""
+    if not range_text:
+        return 1
+    match = _RANGE_RE.fullmatch(range_text.strip())
+    if match is None:
+        return None
+    return abs(int(match.group(1)) - int(match.group(2))) + 1
+
+
+def _port_names(body: str) -> set[str]:
+    names: set[str] = set()
+    for match in _PORT_DECL_RE.finditer(body):
+        names.update(name.strip() for name in match.group(2).split(","))
+    return names
+
+
+def _declared_widths(body: str) -> dict[str, int | None]:
+    """Width of every wire/reg/port in a module body (None = not constant)."""
+    widths: dict[str, int | None] = {}
+    for regex in (_SIGNAL_DECL_RE, _PORT_DECL_RE):
+        for match in regex.finditer(body):
+            width = _range_width(match.group(1))
+            for name in match.group(2).split(","):
+                widths[name.strip()] = width
+    return widths
+
+
 def lint_verilog(source: str) -> LintReport:
     """Run the structural checks and return a :class:`LintReport`."""
     report = LintReport()
@@ -82,7 +127,8 @@ def lint_verilog(source: str) -> LintReport:
     if begin_count != end_count:
         report.errors.append(f"Unbalanced begin/end: {begin_count} begin(s), {end_count} end(s)")
 
-    port_map = {name: set(_PORT_DECL_RE.findall(body)) for name, body in bodies.items()}
+    port_map = {name: _port_names(body) for name, body in bodies.items()}
+    width_map = {name: _declared_widths(body) for name, body in bodies.items()}
 
     for module_name, body in bodies.items():
         for match in _INSTANCE_RE.finditer(body):
@@ -101,6 +147,20 @@ def lint_verilog(source: str) -> LintReport:
                 if port not in port_map[target]:
                     report.errors.append(
                         f"Instance {instance} connects unknown port .{port} of module {target}"
+                    )
+            # Width agreement where both ends have constant ranges and the
+            # connection is a bare identifier (expressions are skipped).
+            for port, expr in _PORT_CONNECT_EXPR_RE.findall(instance_text):
+                if _IDENT_RE.fullmatch(expr) is None:
+                    continue
+                port_width = width_map[target].get(port)
+                signal_width = width_map[module_name].get(expr)
+                if port_width is None or signal_width is None:
+                    continue
+                if port_width != signal_width:
+                    report.errors.append(
+                        f"Instance {instance} connects {expr} ({signal_width} bits) "
+                        f"to port .{port} of module {target} ({port_width} bits)"
                     )
 
     tops = [m for m in report.modules if m not in {t for t, _ in report.instances}]

@@ -186,6 +186,8 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
     MetricSpec("verify_served_from_memory", "counter", "", "Verdicts answered from the in-memory verdict cache.", prometheus="repro_verify_served_from_memory_total"),
     MetricSpec("verify_served_from_disk", "counter", "", "Verdicts answered from the disk verdict tier.", prometheus="repro_verify_served_from_disk_total"),
     MetricSpec("verify_deduplicated", "counter", "", "Verification jobs that joined an identical in-flight verification.", prometheus="repro_verify_deduplicated_total"),
+    MetricSpec("verify_rtl_simulations", "counter", "", "RTL simulations run by fresh `rtl` checks (cached verdicts do not re-simulate).", prometheus="repro_verify_rtl_simulations_total"),
+    MetricSpec("verify_perf_measurements", "counter", "", "Performance measurements run by fresh `perf` checks (achieved cycles/frame vs the schedule bound).", prometheus="repro_verify_perf_measurements_total"),
     MetricSpec("verify_seconds_total", "counter", "seconds", "Wall-clock seconds spent answering verification requests.", prometheus="repro_verify_seconds_total"),
     MetricSpec("verify_cache_entries", "gauge", "", "Entries in the in-memory verdict cache.", prometheus="repro_verify_cache_entries"),
     # -- HTTP front ----------------------------------------------------------

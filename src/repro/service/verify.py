@@ -23,6 +23,20 @@ production machinery compiles get:
 
 ``both`` runs the two in sequence (the default).
 
+``rtl``
+    RTL-level replay (:mod:`repro.rtl.sim`): the generated Verilog is
+    elaborated back into a timing model and the same seeded golden frames
+    stream through it, two-state and cycle-driven; passes when the RTL
+    outputs agree **bit-exactly** with the vectorized replay.  When an
+    external HDL tool (Icarus/Verilator) is available it additionally
+    syntax-checks the source — optional, gated like the solver backends.
+
+``perf``
+    Performance measurement from the elaborated design: achieved
+    cycles/frame and initiation interval, parsed out of the emitted source,
+    against the schedule's ``end_to_end_latency_cycles`` bound; the verdict
+    fails when achieved exceeds the bound.
+
 Results are keyed by a **verify fingerprint** — SHA-256 over the compile
 fingerprint x input spec (frames, seed, tolerance, expected digest) x check
 kind — and reuse the compile service's production tiers: verdicts live in an
@@ -38,8 +52,9 @@ across a process boundary would cost more than the check itself.  When the
 compile engine's backend is remote, the verify engine brings up its own
 thread pool of the same width.
 
-Spans (``verify`` > ``verify_compile``/``verify_golden``/``verify_cycle``)
-feed the engine's stage histograms, giving Prometheus the
+Spans (``verify`` > ``verify_compile``/``verify_golden``/``verify_cycle``/
+``verify_rtl``/``verify_perf``) feed the engine's stage histograms, giving
+Prometheus the
 ``repro_stage_seconds{stage="verify"}`` family; counters surface through
 ``GET /v1/metrics`` under ``verify_*`` keys (see
 :mod:`repro.service.observability`).
@@ -62,13 +77,18 @@ from repro.service.admission import AdmissionQueue, QueueFullError
 from repro.service.engine import CompileEngine
 from repro.service.events import emit_event
 from repro.service.executor import ExecutorBackend, ThreadExecutor, relay_future, resolve_executor
-from repro.sim.batch import replay_frames
+from repro.sim.batch import golden_frames, replay_frames
 from repro.sim.cycle import check_schedule_legality
 from repro.trace import Span, collect_spans, trace_span
 
 #: Version of the verify fingerprint composition *and* the verify wire/cache
-#: payloads; bumping it invalidates every cached verdict.
-VERIFY_FORMAT_VERSION = 1
+#: payloads; bumping it invalidates every cached verdict.  v2 added the
+#: ``rtl`` and ``perf`` check kinds; requests for the v1 kinds still encode
+#: as v1 payloads (lowest sufficient version) and v1 payloads still decode.
+VERIFY_FORMAT_VERSION = 2
+
+#: Verify payload versions this build can decode.
+READABLE_VERIFY_VERSIONS: tuple[int, ...] = (1, 2)
 
 #: check kind -> one-line contract (single source for docs and validation).
 CHECK_KINDS: dict[str, str] = {
@@ -84,7 +104,48 @@ CHECK_KINDS: dict[str, str] = {
         "schedules additionally check FB (frame-buffer coverage)."
     ),
     "both": "golden followed by cycle; passes only when both pass.",
+    "rtl": (
+        "Cycle-driven two-state simulation of the emitted Verilog (elaborated "
+        "back from the source text): seeded golden frames stream through the "
+        "design's line/frame buffers and must agree bit-exactly with the "
+        "vectorized replay; an external HDL tool, when present, additionally "
+        "syntax-checks the source."
+    ),
+    "perf": (
+        "Achieved cycles/frame and initiation interval measured from the "
+        "elaborated RTL against the schedule's end-to-end latency bound; "
+        "fails when achieved exceeds the bound."
+    ),
 }
+
+#: check kind -> lowest verify payload version that can express it.  The
+#: encoder stamps this (so v1 kinds keep producing byte-stable v1 payloads)
+#: and the decoder rejects a kind stamped below its floor.
+CHECK_KIND_MIN_VERSION: dict[str, int] = {
+    "golden": 1,
+    "cycle": 1,
+    "both": 1,
+    "rtl": 2,
+    "perf": 2,
+}
+
+#: (version, check kinds, notes) — the wire-protocol compatibility table
+#: (single source for docs/wire-protocol.md).
+VERIFY_PAYLOAD_VERSIONS: tuple[tuple[int, str, str], ...] = (
+    (
+        1,
+        "`golden`, `cycle`, `both`",
+        "Original verify payload; still emitted for these kinds (lowest "
+        "sufficient version) and still decoded.",
+    ),
+    (
+        2,
+        "all of v1 plus `rtl`, `perf`",
+        "Adds RTL-simulation and performance verdicts; bumping also "
+        "invalidated every cached v1 verdict (the version salts the verify "
+        "fingerprint).",
+    ),
+)
 
 #: Wire/request fields beyond ``version``/``target``: (name, type, default,
 #: meaning).  Single source for the decoder's accepted-key set and the
@@ -94,9 +155,9 @@ VERIFY_REQUEST_FIELDS: tuple[tuple[str, str, str, str], ...] = (
         "check",
         "string",
         '"both"',
-        "Check kind: `golden` | `cycle` | `both` (see docs/verification.md).",
+        "Check kind: `golden` | `cycle` | `both` | `rtl` | `perf` (see docs/verification.md).",
     ),
-    ("frames", "int", "2", "Frames replayed per golden check (>= 1)."),
+    ("frames", "int", "2", "Frames replayed per golden/rtl check (>= 1)."),
     ("seed", "int", "0", "Seed of the deterministic input-frame generator."),
     (
         "tolerance",
@@ -154,6 +215,14 @@ class VerifyRequest:
     def wants_cycle(self) -> bool:
         return self.check in ("cycle", "both")
 
+    @property
+    def wants_rtl(self) -> bool:
+        return self.check == "rtl"
+
+    @property
+    def wants_perf(self) -> bool:
+        return self.check == "perf"
+
 
 def verify_fingerprint(request: VerifyRequest) -> str:
     """Content address of one verdict.
@@ -185,6 +254,8 @@ class VerifyResult:
     passed: bool | None  # None when the check itself errored
     golden: dict | None = None
     cycle: dict | None = None
+    rtl: dict | None = None
+    perf: dict | None = None
     error: str | None = None
     error_kind: str | None = None
     source: str = "verified"  # verified | memory | disk | deduplicated
@@ -216,6 +287,28 @@ class VerifyResult:
                 {violation["rule"] for violation in self.cycle.get("violations", ())}
             )
             parts.append(f"cycle legality violated ({', '.join(rules)})")
+        if self.rtl is not None and not self.rtl.get("passed", True):
+            if self.rtl.get("expected_match") is False:
+                parts.append(
+                    "rtl digest mismatch vs pinned expected "
+                    f"{(self.rtl.get('expected_digest') or '')[:12]}…"
+                )
+            elif self.rtl.get("external") and self.rtl["external"].get("ok") is False:
+                parts.append(
+                    f"external HDL check failed ({self.rtl['external'].get('tool')})"
+                )
+            else:
+                parts.append(
+                    "rtl output mismatch (rtl "
+                    f"{self.rtl.get('rtl_digest', '')[:12]}… != replay "
+                    f"{self.rtl.get('digest', '')[:12]}…)"
+                )
+        if self.perf is not None and not self.perf.get("passed", True):
+            parts.append(
+                "perf bound exceeded "
+                f"({self.perf.get('cycles_per_frame')} > "
+                f"{self.perf.get('bound_cycles_per_frame')} cycles/frame)"
+            )
         if self.error is not None:
             parts.append(f"{self.error_kind}: {self.error}")
         return "; ".join(parts) or "verify failed"
@@ -289,6 +382,8 @@ class VerifyEngine:
             "served_from_memory": 0,
             "served_from_disk": 0,
             "deduplicated": 0,
+            "rtl_simulations": 0,
+            "perf_measurements": 0,
             "seconds_total": 0.0,
         }
 
@@ -396,7 +491,7 @@ class VerifyEngine:
     ) -> VerifyResult:
         started = time.perf_counter()
         target = request.target
-        golden = cycle = None
+        golden = cycle = rtl = perf = None
         error = error_kind = None
         compile_source = None
         trace = collect_spans(enabled=self.tracing)
@@ -418,6 +513,14 @@ class VerifyEngine:
                             with trace_span("verify_cycle"):
                                 report = check_schedule_legality(schedule)
                                 cycle = report.to_payload()
+                        if request.wants_rtl:
+                            with trace_span("verify_rtl", frames=request.frames):
+                                rtl = self._rtl_check(request, schedule)
+                            self._count(rtl_simulations=1)
+                        if request.wants_perf:
+                            with trace_span("verify_perf"):
+                                perf = self._perf_check(schedule)
+                            self._count(perf_measurements=1)
         except QueueFullError:
             raise  # the *compile* was shed; surface it as such, not as a verdict
         except SimulationError as exc:
@@ -429,7 +532,8 @@ class VerifyEngine:
         passed: bool | None = None
         if error is None:
             passed = all(
-                part is None or part.get("passed", False) for part in (golden, cycle)
+                part is None or part.get("passed", False)
+                for part in (golden, cycle, rtl, perf)
             )
         result = VerifyResult(
             request=request,
@@ -438,6 +542,8 @@ class VerifyEngine:
             passed=passed,
             golden=golden,
             cycle=cycle,
+            rtl=rtl,
+            perf=perf,
             error=error,
             error_kind=error_kind,
             source="verified",
@@ -492,6 +598,72 @@ class VerifyEngine:
             "expected_match": expected_match,
         }
 
+    def _rtl_check(self, request: VerifyRequest, schedule) -> dict:
+        """Stream golden frames through the elaborated RTL; demand bit-exact."""
+        from repro.rtl.generator import generate_verilog
+        from repro.rtl.sim import (
+            check_external_syntax,
+            elaborate_design,
+            external_simulator,
+            simulate_design,
+        )
+
+        source = generate_verilog(schedule)
+        design = elaborate_design(source, schedule.dag)
+        inputs = golden_frames(
+            schedule.dag,
+            schedule.image_width,
+            schedule.image_height,
+            frames=request.frames,
+            seed=request.seed,
+        )
+        simulated = simulate_design(design, schedule, inputs)
+        reference = replay_frames(
+            schedule.dag,
+            schedule.image_width,
+            schedule.image_height,
+            frames=request.frames,
+            seed=request.seed,
+        )
+        expected_match = (
+            None
+            if request.expected_digest is None
+            else reference.digest == request.expected_digest
+        )
+        payload = {
+            "passed": simulated.digest == reference.digest
+            and expected_match is not False,
+            "digest": reference.digest,
+            "rtl_digest": simulated.digest,
+            "frames": request.frames,
+            "seed": request.seed,
+            "expected_digest": request.expected_digest,
+            "expected_match": expected_match,
+            "cycles_per_frame": simulated.cycles_per_frame,
+            "external": None,
+        }
+        tool = external_simulator()
+        if tool is not None:
+            external = check_external_syntax(source, tool)
+            payload["external"] = external
+            if external["ok"] is False:
+                payload["passed"] = False
+        return payload
+
+    def _perf_check(self, schedule) -> dict:
+        """Measure achieved cycles/frame from the elaborated RTL vs the bound."""
+        from repro.rtl.generator import generate_verilog
+        from repro.rtl.sim import elaborate_design, measure_performance
+
+        design = elaborate_design(generate_verilog(schedule), schedule.dag)
+        payload = measure_performance(
+            design,
+            schedule.image_height,
+            bound_cycles=schedule.end_to_end_latency_cycles,
+        )
+        payload["generator"] = schedule.generator
+        return payload
+
     # ------------------------------------------------------------- the cache
     def _payload_of(self, result: VerifyResult) -> dict:
         return {
@@ -501,6 +673,8 @@ class VerifyEngine:
             "passed": result.passed,
             "golden": result.golden,
             "cycle": result.cycle,
+            "rtl": result.rtl,
+            "perf": result.perf,
         }
 
     def _remember(self, fingerprint: str, result: VerifyResult) -> None:
@@ -544,6 +718,8 @@ class VerifyEngine:
             passed=payload.get("passed"),
             golden=payload.get("golden"),
             cycle=payload.get("cycle"),
+            rtl=payload.get("rtl"),
+            perf=payload.get("perf"),
             source=tier,
         )
 

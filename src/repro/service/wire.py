@@ -506,21 +506,23 @@ def full_result_from_wire(payload: dict, target: CompileTarget) -> CompileResult
 
 
 # ---------------------------------------------------------------------------
-# Verify payloads (v1) — see docs/verification.md and docs/wire-protocol.md
+# Verify payloads (v1/v2) — see docs/verification.md and docs/wire-protocol.md
 # ---------------------------------------------------------------------------
 def verify_request_to_wire(request: "VerifyRequest") -> dict:
-    """Encode one :class:`~repro.service.verify.VerifyRequest` (payload v1).
+    """Encode one :class:`~repro.service.verify.VerifyRequest`.
 
     Defaults are omitted on the wire — a minimal request is just
-    ``{"target": {...}}`` — and the ``version`` field follows the same
-    exact-match rule as target payloads (:data:`VERIFY_FORMAT_VERSION`).
+    ``{"target": {...}}`` — and ``version`` follows the same
+    lowest-sufficient-version rule as target payloads: the v1 check kinds
+    (``golden``/``cycle``/``both``) stamp 1, so their wire bytes are stable
+    across the v2 bump; ``rtl``/``perf`` stamp 2.
     """
     # Function-local: verify pulls in numpy and the sim stack, which process
     # workers (whose only wire users are compile jobs) must not pay to import.
-    from repro.service.verify import VERIFY_FORMAT_VERSION
+    from repro.service.verify import CHECK_KIND_MIN_VERSION, VERIFY_FORMAT_VERSION
 
     payload = {
-        "version": VERIFY_FORMAT_VERSION,
+        "version": CHECK_KIND_MIN_VERSION.get(request.check, VERIFY_FORMAT_VERSION),
         "target": target_to_wire(request.target),
         "check": request.check,
     }
@@ -538,8 +540,16 @@ def verify_request_to_wire(request: "VerifyRequest") -> dict:
 
 
 def verify_request_from_wire(payload: dict) -> "VerifyRequest":
-    """Decode a verify request; unknown fields and bad versions are rejected."""
+    """Decode a verify request; unknown fields and bad versions are rejected.
+
+    Any version in ``READABLE_VERIFY_VERSIONS`` decodes (v1 payloads stay
+    readable after the v2 bump); future versions are rejected, and a check
+    kind stamped below its own floor (``rtl``/``perf`` in a v1 payload) is a
+    format error — a v1-era peer could never have produced it.
+    """
     from repro.service.verify import (
+        CHECK_KIND_MIN_VERSION,
+        READABLE_VERIFY_VERSIONS,
         VERIFY_FORMAT_VERSION,
         VERIFY_REQUEST_FIELDS,
         VerifyRequest,
@@ -550,15 +560,22 @@ def verify_request_from_wire(payload: dict) -> "VerifyRequest":
             f"Verify request must be a JSON object, got {type(payload).__name__}"
         )
     version = payload.get("version", VERIFY_FORMAT_VERSION)
-    if version != VERIFY_FORMAT_VERSION:
+    if version not in READABLE_VERIFY_VERSIONS:
         raise WireFormatError(
             f"Unsupported verify payload version {version!r} (this build speaks "
-            f"{VERIFY_FORMAT_VERSION})"
+            f"{', '.join(str(v) for v in READABLE_VERIFY_VERSIONS)})"
         )
     known = {"version", "target"} | {name for name, *_ in VERIFY_REQUEST_FIELDS}
     unknown = sorted(set(payload) - known)
     if unknown:
         raise WireFormatError(f"Unknown verify request field(s): {', '.join(unknown)}")
+    check = str(payload.get("check", "both"))
+    floor = CHECK_KIND_MIN_VERSION.get(check)
+    if floor is not None and version < floor:
+        raise WireFormatError(
+            f"Check kind {check!r} needs verify payload version >= {floor}, "
+            f"got version {version}"
+        )
     target = target_from_wire(_require(payload, "target", "verify request"))
     expected = payload.get("expected_digest")
     try:
@@ -579,8 +596,9 @@ def verify_result_to_wire(result: "VerifyResult", *, include_spans: bool = False
     """Flatten one :class:`~repro.service.verify.VerifyResult` for HTTP clients.
 
     ``ok`` says the check *ran*; ``passed`` says the design survived it —
-    a failed golden check is ``ok: true, passed: false``.  ``golden`` and
-    ``cycle`` appear only for the check kinds that ran; errors carry
+    a failed golden check is ``ok: true, passed: false``.  ``golden``,
+    ``cycle``, ``rtl`` and ``perf`` appear only for the check kinds that
+    ran; errors carry
     ``error``/``error_kind`` instead (``error_kind: "SimulationError"`` is
     what the HTTP front maps to 422 ``verify-failed``).
     """
@@ -599,6 +617,10 @@ def verify_result_to_wire(result: "VerifyResult", *, include_spans: bool = False
         payload["golden"] = result.golden
     if result.cycle is not None:
         payload["cycle"] = result.cycle
+    if result.rtl is not None:
+        payload["rtl"] = result.rtl
+    if result.perf is not None:
+        payload["perf"] = result.perf
     if result.error is not None:
         payload["error"] = result.error
         payload["error_kind"] = result.error_kind

@@ -1,0 +1,132 @@
+"""Differential harness: three models of every catalog design must agree.
+
+For every catalog algorithm under all four generators, this suite pins the
+three models of one compiled design against each other:
+
+* **functional replay** (``repro.sim.batch.replay_frames``) — the golden
+  frame-level semantics of the DAG,
+* **schedule event walk** (``repro.sim.cycle.simulate_schedule``) — the
+  cycle-level legality model (R1–R3/FB),
+* **RTL simulation** (``repro.rtl``) — the elaborated generated Verilog,
+  streamed cycle-style over the same seeded frames.
+
+The RTL outputs must match the functional replay bit-exactly, the achieved
+cycles/frame must stay within the schedule's bound, and the event walk must
+report zero violations.  On top of the cross-model checks, the generated
+source bytes and the RTL output digests are pinned in
+``tests/data/rtl_digests.json`` (alongside ``regression_2d_pins.json``) so
+codegen drift is caught byte-level even when the three models drift together.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import compile_pipeline
+from repro.algorithms import ALGORITHM_NAMES, build_algorithm
+from repro.api import CompileTarget
+from repro.rtl import elaborate_design, generate_verilog, measure_performance, rtl_replay
+from repro.sim.batch import replay_frames
+from repro.sim.cycle import simulate_schedule
+
+PINS_PATH = Path(__file__).parent.parent / "data" / "rtl_digests.json"
+PINS = json.loads(PINS_PATH.read_text())
+META = PINS["_meta"]
+
+GENERATORS = ("imagen", "darkroom", "soda", "fixynn")
+COMBOS = [
+    (name, generator)
+    for name in sorted(n for n in PINS if n != "_meta")
+    for generator in GENERATORS
+]
+
+
+def test_pins_cover_the_whole_catalog():
+    assert sorted(n for n in PINS if n != "_meta") == sorted(ALGORITHM_NAMES)
+
+
+@lru_cache(maxsize=None)
+def _schedule(name: str, generator: str):
+    target = CompileTarget(
+        build_algorithm(name),
+        image_width=META["image_width"],
+        image_height=META["image_height"],
+        generator=generator,
+    )
+    return compile_pipeline(target).schedule
+
+
+@lru_cache(maxsize=None)
+def _source(name: str, generator: str) -> str:
+    return generate_verilog(_schedule(name, generator))
+
+
+@lru_cache(maxsize=None)
+def _rtl(name: str, generator: str):
+    return rtl_replay(
+        _schedule(name, generator),
+        frames=META["frames"],
+        seed=META["seed"],
+        source=_source(name, generator),
+    )
+
+
+@pytest.mark.parametrize("name,generator", COMBOS)
+def test_rtl_matches_functional_replay(name, generator):
+    """RTL sim ≡ golden replay, bit-exactly, per output array."""
+    result = _rtl(name, generator)
+    replay = replay_frames(
+        _schedule(name, generator).dag,
+        META["image_width"],
+        META["image_height"],
+        frames=META["frames"],
+        seed=META["seed"],
+    )
+    assert result.digest == replay.digest, f"{name}/{generator} RTL output diverged"
+    assert sorted(result.outputs) == sorted(replay.outputs)
+    for stage, stack in replay.outputs.items():
+        assert np.array_equal(result.outputs[stage], stack), f"{name}/{generator}:{stage}"
+
+
+@pytest.mark.parametrize("name,generator", COMBOS)
+def test_cycles_within_schedule_bound(name, generator):
+    """Achieved cycles/frame from the RTL run stays within the ILP's bound."""
+    schedule = _schedule(name, generator)
+    result = _rtl(name, generator)
+    bound = schedule.end_to_end_latency_cycles
+    assert result.cycles_per_frame <= bound, (
+        f"{name}/{generator}: achieved {result.cycles_per_frame} > bound {bound}"
+    )
+    design = elaborate_design(_source(name, generator), schedule.dag)
+    perf = measure_performance(design, schedule.image_height, bound_cycles=bound)
+    assert perf["passed"] is True
+    assert perf["initiation_interval"] == schedule.image_width * schedule.image_height
+
+
+@pytest.mark.parametrize("name,generator", COMBOS)
+def test_event_walk_reports_no_violations(name, generator):
+    """The third model — the schedule event walk — agrees the design is legal."""
+    report = simulate_schedule(_schedule(name, generator))
+    assert report.ok, f"{name}/{generator}: {report.violations[:3]}"
+
+
+@pytest.mark.parametrize("name,generator", COMBOS)
+def test_rtl_digests_pinned(name, generator):
+    """Generated source bytes and RTL output digests match the recorded pins."""
+    entry = PINS[name]
+    source = _source(name, generator)
+    assert (
+        hashlib.sha256(source.encode("utf-8")).hexdigest()
+        == entry[f"verilog_sha256:{generator}"]
+    ), f"{name}/{generator}: generated Verilog bytes moved"
+    result = _rtl(name, generator)
+    assert result.digest == entry[f"rtl_digest:{generator}"], (
+        f"{name}/{generator}: RTL output digest moved"
+    )
+    assert result.cycles_per_frame == entry[f"cycles_per_frame:{generator}"]

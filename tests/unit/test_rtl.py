@@ -134,3 +134,58 @@ endmodule
         report = lint_verilog(source)
         assert report.ok
         assert report.top_modules == ["top"]
+
+    def test_multi_identifier_port_declarations(self):
+        """`input wire a, b` declares both ports — neither connection errors."""
+        source = """
+module leaf (input wire clk, rst, input wire [7:0] a, b, output reg [7:0] q);
+endmodule
+module top (input wire clk, output wire [7:0] q);
+    wire rst;
+    wire [7:0] x, y;
+    leaf u_leaf (.clk(clk), .rst(rst), .a(x), .b(y), .q(q));
+endmodule
+"""
+        report = lint_verilog(source)
+        assert report.ok, report.errors
+
+    def test_multi_identifier_list_stops_at_next_direction(self):
+        """`input wire a, output wire b` must not fold b into the input list."""
+        source = """
+module leaf (input wire a, output wire b);
+endmodule
+module top (input wire a, output wire b);
+    leaf u_leaf (.a(a), .b(b));
+endmodule
+"""
+        report = lint_verilog(source)
+        assert report.ok, report.errors
+
+    def test_detects_width_mismatch_on_connection(self):
+        source = """
+module leaf (input wire clk, input wire [7:0] a);
+endmodule
+module top (input wire clk);
+    wire [3:0] narrow;
+    leaf u_leaf (.clk(clk), .a(narrow));
+endmodule
+"""
+        report = lint_verilog(source)
+        assert any(
+            "narrow (4 bits)" in e and ".a" in e and "(8 bits)" in e
+            for e in report.errors
+        ), report.errors
+
+    def test_width_check_skips_expressions_and_symbolic_ranges(self):
+        """Only bare identifiers with constant ranges on both ends compare."""
+        source = """
+module leaf (input wire [7:0] a, input wire [WIDTH-1:0] b);
+endmodule
+module top (input wire clk);
+    wire [7:0] x;
+    wire [3:0] y;
+    leaf u_leaf (.a(x[7:0] % 3), .b(y));
+endmodule
+"""
+        report = lint_verilog(source)
+        assert report.ok, report.errors

@@ -283,6 +283,144 @@ class TestVerifyWire:
         assert traced["spans"]
 
 
+class TestRtlPerfChecks:
+    """The v2 check kinds: RTL simulation and performance verdicts."""
+
+    def test_rtl_check_payload(self, engines):
+        _, verify = engines
+        result = verify.submit(VerifyRequest(target=_target(), check="rtl", frames=2))
+        assert result.ok and result.passed is True
+        assert result.golden is None and result.cycle is None and result.perf is None
+        rtl = result.rtl
+        assert rtl["passed"] is True
+        assert rtl["rtl_digest"] == rtl["digest"]
+        assert rtl["frames"] == 2
+        assert rtl["cycles_per_frame"] > 0
+
+    def test_perf_check_payload(self, engines):
+        _, verify = engines
+        result = verify.submit(VerifyRequest(target=_target(), check="perf"))
+        assert result.ok and result.passed is True
+        perf = result.perf
+        assert perf["passed"] is True
+        assert perf["cycles_per_frame"] <= perf["bound_cycles_per_frame"]
+        assert perf["initiation_interval"] == W * H
+        assert perf["generator"] == "imagen"
+
+    def test_rtl_expected_digest_pins_the_verdict(self, engines):
+        _, verify = engines
+        result = verify.submit(
+            VerifyRequest(target=_target(), check="rtl", expected_digest="0" * 64)
+        )
+        assert result.ok and result.passed is False
+        assert result.rtl["expected_match"] is False
+        assert "expected" in result.failure_summary()
+
+    def test_rtl_verdicts_cache_without_resimulating(self, engines):
+        _, verify = engines
+        request = VerifyRequest(target=_target("canny-s"), check="rtl")
+        cold = verify.submit(request)
+        simulations = verify.stats()["rtl_simulations"]
+        warm = verify.submit(request)
+        assert cold.source == "verified"
+        assert warm.source == "memory"
+        assert warm.rtl == cold.rtl
+        assert verify.stats()["rtl_simulations"] == simulations
+
+    def test_concurrent_rtl_requests_deduplicate(self, engines):
+        _, verify = engines
+        request = VerifyRequest(target=_target("harris-s"), check="rtl")
+        results = [None] * 3
+        def run(index):
+            results[index] = verify.submit(request)
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(r.source for r in results).count("verified") == 1
+        assert all(r.passed for r in results)
+        assert verify.stats()["rtl_simulations"] == 1
+
+    def test_rtl_and_perf_spans_feed_histograms(self, engines):
+        engine, verify = engines
+        rtl = verify.submit(VerifyRequest(target=_target(), check="rtl"))
+        perf = verify.submit(VerifyRequest(target=_target(), check="perf"))
+        assert [s.name for child in rtl.spans for s in child.children].count("verify_rtl") == 1
+        assert "verify_perf" in [s.name for child in perf.spans for s in child.children]
+        histograms = engine.metrics.stage_histograms()
+        assert histograms["verify_rtl"]["count"] >= 1
+        assert histograms["verify_perf"]["count"] >= 1
+
+    def test_counters_track_fresh_runs(self, engines):
+        _, verify = engines
+        verify.submit(VerifyRequest(target=_target(), check="rtl"))
+        verify.submit(VerifyRequest(target=_target(), check="perf"))
+        stats = verify.stats()
+        assert stats["rtl_simulations"] == 1
+        assert stats["perf_measurements"] == 1
+
+
+class TestVerifyWireVersions:
+    """Compat rules for the v2 verify-payload bump."""
+
+    def test_v1_kinds_still_stamp_version_1(self):
+        for check in ("golden", "cycle", "both"):
+            payload = verify_request_to_wire(VerifyRequest(target=_target(), check=check))
+            assert payload["version"] == 1
+            assert verify_request_from_wire(payload).check == check
+
+    def test_new_kinds_stamp_version_2(self):
+        for check in ("rtl", "perf"):
+            payload = verify_request_to_wire(VerifyRequest(target=_target(), check=check))
+            assert payload["version"] == 2
+            assert verify_request_from_wire(payload).check == check
+
+    def test_future_version_rejected(self):
+        payload = verify_request_to_wire(VerifyRequest(target=_target(), check="rtl"))
+        payload["version"] = 3
+        with pytest.raises(WireFormatError, match="version"):
+            verify_request_from_wire(payload)
+
+    def test_new_kind_below_its_version_floor_rejected(self):
+        for check in ("rtl", "perf"):
+            payload = verify_request_to_wire(VerifyRequest(target=_target(), check=check))
+            payload["version"] = 1
+            with pytest.raises(WireFormatError, match="needs verify payload version"):
+                verify_request_from_wire(payload)
+
+    def test_unknown_check_kind_rejected_at_both_versions(self):
+        for version in (1, 2):
+            payload = verify_request_to_wire(VerifyRequest(target=_target()))
+            payload["version"] = version
+            payload["check"] = "vibes"
+            with pytest.raises(WireFormatError):
+                verify_request_from_wire(payload)
+
+    def test_strict_and_lax_share_fingerprints_for_new_kinds(self):
+        for check in ("rtl", "perf"):
+            lax = VerifyRequest(target=_target(), check=check)
+            strict = VerifyRequest(target=_target(), check=check, strict=True)
+            assert lax.fingerprint == strict.fingerprint
+        assert (
+            VerifyRequest(target=_target(), check="rtl").fingerprint
+            != VerifyRequest(target=_target(), check="perf").fingerprint
+        )
+
+    def test_result_wire_carries_rtl_and_perf_sections(self, engines):
+        _, verify = engines
+        body = verify_result_to_wire(
+            verify.submit(VerifyRequest(target=_target(), check="rtl"))
+        )
+        assert body["rtl"]["passed"] is True
+        assert "golden" not in body and "perf" not in body
+        body = verify_result_to_wire(
+            verify.submit(VerifyRequest(target=_target(), check="perf"))
+        )
+        assert body["perf"]["passed"] is True
+        assert "rtl" not in body
+
+
 class TestVerifyHTTP:
     @pytest.fixture
     def service(self, tmp_path):
@@ -357,3 +495,33 @@ class TestVerifyHTTP:
         exposition = client.metrics_prometheus()
         assert "repro_verify_requests_total" in exposition
         assert 'repro_stage_seconds_bucket{stage="verify"' in exposition
+
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_rtl_and_perf_verdicts_over_http_for_whole_catalog(self, service, name):
+        """Acceptance: cached, deduped, traced rtl/perf verdicts per algorithm."""
+        client, _, server = service
+        target = _target(name)
+        rtl = client.verify(target, check="rtl", trace=True)
+        assert rtl["ok"] is True and rtl["passed"] is True
+        assert rtl["rtl"]["passed"] is True
+        spans = [child["name"] for child in rtl["spans"][0]["children"]]
+        assert "verify_rtl" in spans
+        warm = client.verify(target, check="rtl")
+        assert warm["source"] in ("memory", "disk")
+        assert warm["rtl"] == rtl["rtl"]
+        perf = client.verify(target, check="perf", trace=True)
+        assert perf["ok"] is True and perf["passed"] is True
+        assert perf["perf"]["cycles_per_frame"] <= perf["perf"]["bound_cycles_per_frame"]
+        assert "verify_perf" in [child["name"] for child in perf["spans"][0]["children"]]
+
+    def test_http_rtl_metrics_and_dedup_counters(self, service):
+        client, _, server = service
+        target = _target("canny-s")
+        client.verify(target, check="rtl")
+        client.verify(target, check="rtl")
+        metrics = client.metrics()
+        assert metrics["verify_rtl_simulations"] == 1
+        assert metrics["verify_served_from_memory"] >= 1
+        exposition = client.metrics_prometheus()
+        assert "repro_verify_rtl_simulations_total" in exposition
+        assert "repro_verify_perf_measurements_total" in exposition

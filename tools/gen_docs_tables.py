@@ -30,7 +30,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.service.http import build_parser as build_http_parser  # noqa: E402
 from repro.service.observability import METRIC_SPECS  # noqa: E402
-from repro.service.verify import CHECK_KINDS, VERIFY_REQUEST_FIELDS  # noqa: E402
+from repro.service.verify import (  # noqa: E402
+    CHECK_KINDS,
+    VERIFY_PAYLOAD_VERSIONS,
+    VERIFY_REQUEST_FIELDS,
+)
 
 
 def _cell(text: str) -> str:
@@ -149,6 +153,17 @@ def render_verify_metrics_table() -> str:
     )
 
 
+def render_verify_payload_versions() -> str:
+    """The verify-payload version history, from the live compat registry."""
+    return _table(
+        ["Version", "Check kinds", "Compatibility"],
+        [
+            [f"`{version}`", kinds, notes]
+            for version, kinds, notes in VERIFY_PAYLOAD_VERSIONS
+        ],
+    )
+
+
 #: region name -> (relative file, renderer)
 REGIONS: dict[str, tuple[str, callable]] = {
     "metrics-table": ("docs/serving.md", render_metrics_table),
@@ -158,6 +173,7 @@ REGIONS: dict[str, tuple[str, callable]] = {
     "verify-check-kinds": ("docs/verification.md", render_verify_check_kinds),
     "verify-metrics-table": ("docs/verification.md", render_verify_metrics_table),
     "verify-request-fields": ("docs/wire-protocol.md", render_verify_request_fields),
+    "verify-payload-versions": ("docs/wire-protocol.md", render_verify_payload_versions),
 }
 
 
